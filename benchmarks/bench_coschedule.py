@@ -1,0 +1,40 @@
+"""Co-located tenants on one CSD (the Figure 5 situation, symmetric).
+
+Not a paper figure per se — the paper stresses one program with a
+synthetic co-tenant — but the situation it simulates: "the CSD must
+load multiple tasks".  Two real queries share the engine at a fair 50%;
+the table shows what co-location costs each of them and whether
+ActivePy moved anyone out of the way.
+"""
+
+from repro.analysis.report import format_table
+from repro.runtime.coschedule import coschedule_pair
+from repro.workloads import get_workload
+
+from .conftest import run_once
+
+
+def test_coscheduled_tenants(benchmark):
+    def run():
+        q6 = get_workload("tpch_q6")
+        q14 = get_workload("tpch_q14")
+        return coschedule_pair(
+            (q6.program, q6.dataset),
+            (q14.program, q14.dataset),
+        )
+
+    result = run_once(benchmark, run)
+    print("\n\nCO-SCHEDULING — two tenants, one CSD, fair 50% share")
+    rows = []
+    for index, name in enumerate(("tpch_q6", "tpch_q14")):
+        rows.append([
+            name,
+            f"{result.solo[index].total_seconds:.2f}s",
+            f"{result.shared[index].total_seconds:.2f}s",
+            f"{result.slowdown(index):.3f}x",
+            result.migrations[index],
+        ])
+    print(format_table(
+        ["tenant", "solo", "co-located", "slowdown", "migrations"], rows,
+    ))
+    assert result.slowdown(0) < 2.0 and result.slowdown(1) < 2.0

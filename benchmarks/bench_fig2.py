@@ -1,0 +1,30 @@
+"""Figure 2: static C ISP speedup vs CSE availability.
+
+Paper series: TPC-H 1/6/14 plans tuned at 100% availability, then run
+as-is while the CSE is throttled — ~1.25x at 100%, performance loss
+once availability drops through the mid-range, catastrophic at 10%.
+"""
+
+from repro.analysis.experiments import run_fig2
+from repro.analysis.report import format_table
+
+from .conftest import run_once
+
+
+def test_fig2_availability_sweep(benchmark):
+    result = run_once(benchmark, run_fig2)
+    print("\n\nFIGURE 2 — static C ISP speedup vs CSE availability")
+    headers = ["availability"] + list(result.series)
+    rows = []
+    for i, availability in enumerate(result.availabilities):
+        rows.append(
+            [f"{availability:.0%}"]
+            + [f"{result.series[name][i]:.3f}x" for name in result.series]
+        )
+    print(format_table(headers, rows))
+    print(f"\ngeomean at 100%: {result.mean_at(1.0):.3f}x (paper: ~1.25x)")
+    for name in result.series:
+        print(f"crossover({name}): below {result.crossover(name):.0%} availability")
+
+    assert 1.15 < result.mean_at(1.0) < 1.45
+    assert all(series[-1] < 0.35 for series in result.series.values())

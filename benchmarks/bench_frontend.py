@@ -1,0 +1,53 @@
+"""Frontend microbenchmarks: lowering cost and end-to-end parity.
+
+The frontend must stay cheap (AST lowering happens at program-build
+time) and its generated programs must behave like hand-built ones.
+"""
+
+import numpy as np
+
+from repro.config import DEFAULT_CONFIG
+from repro.frontend import program_from_function
+from repro.lang.dataset import Dataset
+from repro.runtime.activepy import ActivePy
+from repro.baselines import run_c_baseline
+
+from .conftest import run_once
+
+
+def _ticks(n, full=None):
+    rng = np.random.default_rng(47)
+    return {
+        "prices": rng.uniform(5.0, 500.0, size=n),
+        "volumes": rng.uniform(0.0, 400.0, size=n),
+    }
+
+
+def _trading(prices, volumes):
+    notional = (prices * volumes).astype(np.float32)
+    active = notional[volumes > 150.0]
+    return float(np.sum(active))
+
+
+def test_lowering_speed(benchmark):
+    program = benchmark(
+        program_from_function, _trading, 16.0,
+    )
+    assert len(program) == 3
+
+
+def test_frontend_program_end_to_end(benchmark):
+    def run():
+        program = program_from_function(
+            _trading, record_bytes=16.0, probe_payload=_ticks(8192),
+            instr_hints={"L0_notional": 12.0, "L1_active": 12.0,
+                         "L2_return": 4.0},
+        )
+        dataset = Dataset("ticks", 400_000_000, 16.0, _ticks)
+        baseline = run_c_baseline(program, dataset, config=DEFAULT_CONFIG)
+        report = ActivePy(DEFAULT_CONFIG).run(program, dataset)
+        return baseline.total_seconds / report.total_seconds
+
+    speedup = run_once(benchmark, run)
+    print(f"\n\nplain-Python pipeline ISP speedup: {speedup:.2f}x")
+    assert speedup > 1.2

@@ -1,0 +1,54 @@
+"""Equation 1 / Algorithm 1 microbenchmarks.
+
+Not a paper figure, but the machinery every figure rests on: how fast
+the planner runs, and that the greedy matches the exhaustive oracle on
+the actual evaluation programs (which is what makes the Fig. 4
+"identified exactly the same set" result possible).
+"""
+
+from repro.baselines.static_isp import exhaustive_best_plan, ground_truth_estimates
+from repro.config import DEFAULT_CONFIG
+from repro.runtime.planner import assign_csd_code
+from repro.workloads import get_workload
+
+
+def test_algorithm1_speed(benchmark):
+    workload = get_workload("mixedgemm")
+    estimates = ground_truth_estimates(
+        workload.program, workload.n_records, DEFAULT_CONFIG
+    )
+    plan = benchmark(assign_csd_code, estimates, DEFAULT_CONFIG)
+    assert plan.t_csd <= plan.t_host
+
+
+def test_exhaustive_search_speed(benchmark):
+    workload = get_workload("mixedgemm")
+    estimates = ground_truth_estimates(
+        workload.program, workload.n_records, DEFAULT_CONFIG
+    )
+    plan = benchmark(exhaustive_best_plan, estimates, DEFAULT_CONFIG)
+    assert plan.t_csd <= plan.t_host
+
+
+def test_greedy_matches_oracle_on_all_non_csr_workloads(benchmark):
+    names = [
+        "blackscholes", "kmeans", "lightgbm", "matrixmul", "mixedgemm",
+        "tpch_q1", "tpch_q6", "tpch_q14",
+    ]
+
+    def run():
+        mismatches = []
+        for name in names:
+            workload = get_workload(name)
+            estimates = ground_truth_estimates(
+                workload.program, workload.n_records, DEFAULT_CONFIG
+            )
+            greedy = assign_csd_code(estimates, DEFAULT_CONFIG)
+            oracle = exhaustive_best_plan(estimates, DEFAULT_CONFIG)
+            if greedy.assignments != oracle.assignments:
+                mismatches.append(name)
+        return mismatches
+
+    mismatches = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n\ngreedy == exhaustive for: {sorted(set(names) - set(mismatches))}")
+    assert not mismatches

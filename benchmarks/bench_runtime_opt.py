@@ -1,0 +1,37 @@
+"""§V "ActivePy's optimizations in its language runtime".
+
+Paper ladder, host-only (no ISP anywhere): plain Python is 41% slower
+than the C baseline; Cython compilation shrinks that to 20%; ActivePy's
+copy elimination makes it almost indistinguishable from C, modulo the
+~0.1 s compilation cost.
+"""
+
+from repro.analysis.experiments import run_overhead_ladder
+from repro.analysis.report import format_table
+
+from .conftest import run_once
+
+
+def test_runtime_overhead_ladder(benchmark):
+    result = run_once(benchmark, run_overhead_ladder)
+    print("\n\n§V — language-runtime overhead over the C baseline (no ISP)")
+    print(format_table(
+        ["application", "python", "cython", "activepy"],
+        [
+            [name,
+             f"+{(modes['python'] - 1) * 100:.1f}%",
+             f"+{(modes['cython'] - 1) * 100:.1f}%",
+             f"+{(modes['activepy'] - 1) * 100:.2f}%"]
+            for name, modes in result.per_workload.items()
+        ],
+    ))
+    print(
+        f"\nmean: python +{result.mean_overhead('python') * 100:.1f}% "
+        f"(paper: +41%), cython +{result.mean_overhead('cython') * 100:.1f}% "
+        f"(paper: +20%), activepy +{result.mean_overhead('activepy') * 100:.2f}% "
+        f"(paper: ~1% compile overhead)"
+    )
+
+    assert abs(result.mean_overhead("python") - 0.41) < 0.02
+    assert abs(result.mean_overhead("cython") - 0.20) < 0.02
+    assert result.mean_overhead("activepy") < 0.03

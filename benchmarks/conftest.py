@@ -1,0 +1,21 @@
+"""Shared machinery for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper:
+it runs the experiment driver under ``pytest-benchmark`` (one round —
+the simulator is deterministic, so repetition only measures the
+harness) and prints the same rows/series the paper reports.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+
+Expensive experiment results are cached per session so a figure that
+several benchmarks share is computed once.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Benchmark a deterministic experiment with a single round."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

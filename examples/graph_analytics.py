@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Graph analytics on a CSD: PageRank and the CSR prediction story.
+
+Shows the one place ActivePy's sampling is systematically wrong —
+estimating the size of a CSR structure from a biased prefix sample of
+a power-law edge list — and why the paper argues the error is benign:
+the volume is always over-estimated, so ActivePy errs toward the host
+and never loses to its own conservatism.
+
+Run::
+
+    python examples/graph_analytics.py
+"""
+
+from repro import ActivePy, StaticIspBaseline, get_workload, run_c_baseline
+from repro.runtime.profiler import payload_nbytes
+from repro.units import format_bytes, format_seconds
+
+
+def show_sampling_bias() -> None:
+    workload = get_workload("pagerank")
+    program = workload.program
+    csr_line = program.index_of("build_csr")
+
+    print("=== why the CSR estimate is biased ===")
+    print("sample    measured CSR bytes   bytes/edge")
+    for factor in (2**-10, 2**-9, 2**-8, 2**-7):
+        sample = workload.dataset.sample(factor)
+        payload = sample.payload
+        for statement in program.statements[: csr_line + 1]:
+            payload = statement.kernel(payload)
+        measured = payload_nbytes(payload)
+        print(f"2^{factor.as_integer_ratio()[1].bit_length() - 1:>3}   "
+              f"{format_bytes(measured):>18}   {measured / sample.n_records:8.1f}")
+    true_bytes = program[csr_line].output_bytes(workload.n_records)
+    print(f"population ground truth: {format_bytes(true_bytes)} "
+          f"({true_bytes / workload.n_records:.1f} bytes/edge)")
+    print("a stored edge list is fringe-first, so prefix samples see ~1\n"
+          "distinct vertex per edge while the population averages 8 —\n"
+          "the fitted curve over-extrapolates the CSR footprint ~2.4x.\n")
+
+
+def run_pagerank() -> None:
+    print("=== PageRank end to end ===")
+    workload = get_workload("pagerank")
+    baseline = run_c_baseline(workload.program, workload.dataset)
+    report = ActivePy().run(workload.program, workload.dataset)
+    oracle_plan = StaticIspBaseline().tune(workload.program, workload.n_records)
+
+    print(f"baseline {format_seconds(baseline.total_seconds)}, "
+          f"ActivePy {format_seconds(report.total_seconds)} "
+          f"({baseline.total_seconds / report.total_seconds:.2f}x)")
+    print("\nline              ActivePy   oracle")
+    for statement, mine, oracle in zip(
+        workload.program, report.plan.assignments, oracle_plan.assignments
+    ):
+        marker = "  <- conservative (over-estimated CSR)" if mine != oracle else ""
+        print(f"{statement.name:<16}  {mine:<8}   {oracle}{marker}")
+
+    small = get_workload("pagerank", scale=2**-12)
+    result = small.program.run_kernels(small.dataset.payload)
+    print(f"\nfunctional check: ranks sum to {result['rank_sum']:.6f}, "
+          f"top rank {result['top_rank']:.2e}")
+
+
+def run_sparsemv() -> None:
+    print("\n=== SparseMV (weighted CSR: milder bias) ===")
+    workload = get_workload("sparsemv")
+    baseline = run_c_baseline(workload.program, workload.dataset)
+    report = ActivePy().run(workload.program, workload.dataset)
+    print(f"baseline {format_seconds(baseline.total_seconds)}, "
+          f"ActivePy {format_seconds(report.total_seconds)} "
+          f"({baseline.total_seconds / report.total_seconds:.2f}x)")
+
+
+def main() -> None:
+    show_sampling_bias()
+    run_pagerank()
+    run_sparsemv()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the wheel package.
+
+The project metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` on offline machines where the
+PEP 517 editable path (which needs ``wheel``) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

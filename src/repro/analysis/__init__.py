@@ -1,0 +1,55 @@
+"""Experiment drivers and reporting for the paper's tables and figures.
+
+``experiments`` is re-exported lazily: it imports the full runtime, and
+the runtime itself uses :mod:`repro.analysis.timeline`, so an eager
+import here would be circular.
+"""
+
+from .compare import Change, diff_results, max_relative_change
+from .metrics import geometric_mean, relative_error, speedup
+from .report import ascii_bar_chart, format_table
+from .sweep import SweepResult, sweep_config
+from .timeline import ExecutionTimeline, TimelineSpan
+from .utilization import UtilizationReport, utilization_report
+
+__all__ = [
+    "geometric_mean",
+    "relative_error",
+    "speedup",
+    "ascii_bar_chart",
+    "format_table",
+    "SweepResult",
+    "sweep_config",
+    "Change",
+    "diff_results",
+    "max_relative_change",
+    "ExecutionTimeline",
+    "TimelineSpan",
+    "UtilizationReport",
+    "utilization_report",
+    "Fig2Result",
+    "Fig4Result",
+    "Fig5Result",
+    "LadderResult",
+    "PredictionResult",
+    "run_fig2",
+    "run_fig4",
+    "run_fig5",
+    "run_overhead_ladder",
+    "run_prediction_accuracy",
+    "run_table1",
+]
+
+_EXPERIMENT_EXPORTS = {
+    "Fig2Result", "Fig4Result", "Fig5Result", "LadderResult",
+    "PredictionResult", "run_fig2", "run_fig4", "run_fig5",
+    "run_overhead_ladder", "run_prediction_accuracy", "run_table1",
+}
+
+
+def __getattr__(name: str):
+    if name in _EXPERIMENT_EXPORTS:
+        from . import experiments
+
+        return getattr(experiments, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

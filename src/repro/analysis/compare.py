@@ -1,0 +1,81 @@
+"""Comparing archived experiment results across runs.
+
+Calibration work produces a stream of exported JSON results
+(``analysis.export``); :func:`diff_results` reports what moved between
+two of them — per-key relative deltas over every numeric leaf — so a
+config change's blast radius is one command away::
+
+    old = json.load(open("fig4_before.json"))
+    new = json.load(open("fig4_after.json"))
+    for change in diff_results(old, new, threshold=0.02):
+        print(change)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class Change:
+    """One numeric leaf that moved between two result trees."""
+
+    path: str
+    before: float
+    after: float
+
+    @property
+    def relative(self) -> float:
+        if self.before == 0:
+            return float("inf") if self.after != 0 else 0.0
+        return (self.after - self.before) / abs(self.before)
+
+    def __str__(self) -> str:
+        return f"{self.path}: {self.before:.6g} -> {self.after:.6g} ({self.relative:+.2%})"
+
+
+def _numeric_leaves(tree: Any, path: str = "") -> Iterator[tuple]:
+    if isinstance(tree, bool):
+        return
+    if isinstance(tree, (int, float)):
+        yield path, float(tree)
+    elif isinstance(tree, dict):
+        for key in tree:
+            yield from _numeric_leaves(tree[key], f"{path}.{key}" if path else str(key))
+    elif isinstance(tree, (list, tuple)):
+        for index, item in enumerate(tree):
+            yield from _numeric_leaves(item, f"{path}[{index}]")
+
+
+def diff_results(before: Any, after: Any, threshold: float = 0.0) -> List[Change]:
+    """Numeric leaves whose relative change exceeds ``threshold``.
+
+    Structure mismatches (a leaf present on one side only) raise —
+    comparing results of different experiments is a usage error.
+    """
+    if threshold < 0:
+        raise ReproError(f"threshold must be non-negative, got {threshold}")
+    left = dict(_numeric_leaves(before))
+    right = dict(_numeric_leaves(after))
+    missing = set(left) ^ set(right)
+    if missing:
+        raise ReproError(
+            f"result structures differ at: {sorted(missing)[:5]}"
+            + ("..." if len(missing) > 5 else "")
+        )
+    changes = []
+    for path in sorted(left):
+        change = Change(path=path, before=left[path], after=right[path])
+        if abs(change.relative) > threshold:
+            changes.append(change)
+    changes.sort(key=lambda c: -abs(c.relative))
+    return changes
+
+
+def max_relative_change(before: Any, after: Any) -> float:
+    """Largest relative movement between two result trees (0 if none)."""
+    changes = diff_results(before, after, threshold=0.0)
+    return max((abs(c.relative) for c in changes), default=0.0)

@@ -1,0 +1,501 @@
+"""Drivers that regenerate every table and figure of the paper.
+
+Each ``run_*`` function reproduces one artifact end to end on the
+simulated platform and returns a structured result; the benchmark
+harness (``benchmarks/``) prints them in the paper's shape, and
+``tests/test_experiments.py`` asserts the qualitative claims (who wins,
+by roughly what factor, where the crossovers fall).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import DEFAULT_CONFIG, SystemConfig
+from ..baselines import StaticIspBaseline, run_c_baseline
+from ..baselines.static_isp import ground_truth_estimates
+from ..hw.topology import build_machine
+from ..runtime.activepy import ActivePy, run_plan
+from ..runtime.codegen import ExecutionMode
+from ..runtime.estimator import build_estimates
+from ..runtime.planner import host_only_plan
+from ..runtime.sampling import SamplingPhase
+from ..units import GB
+from ..workloads import Workload, get_workload, workload_names
+from .metrics import geometric_mean, relative_error, speedup
+
+#: The Table I application set (SparseMV is §V/Fig. 5 only).
+TABLE1_WORKLOADS = (
+    "blackscholes", "kmeans", "lightgbm", "matrixmul", "mixedgemm",
+    "pagerank", "tpch_q1", "tpch_q6", "tpch_q14",
+)
+#: The Figure 2 / §II-B motivation set.
+FIG2_WORKLOADS = ("tpch_q1", "tpch_q6", "tpch_q14")
+#: Figure 5 runs the full suite including SparseMV.
+FIG5_WORKLOADS = TABLE1_WORKLOADS + ("sparsemv",)
+
+
+# --- Table I -----------------------------------------------------------------
+
+@dataclass
+class Table1Row:
+    name: str
+    data_bytes: float
+    paper_bytes: float
+    sese_regions: int
+
+
+def run_table1(scale: float = 1.0) -> List[Table1Row]:
+    """Application inventory: input sizes and SESE region counts."""
+    rows = []
+    for name in TABLE1_WORKLOADS:
+        workload = get_workload(name, scale)
+        rows.append(
+            Table1Row(
+                name=name,
+                data_bytes=workload.raw_bytes,
+                paper_bytes=workload.table1_bytes,
+                sese_regions=len(workload.program),
+            )
+        )
+    return rows
+
+
+# --- Figure 2 -----------------------------------------------------------------
+
+@dataclass
+class Fig2Result:
+    """Static C ISP speedups across CSE availabilities."""
+
+    availabilities: Tuple[float, ...]
+    #: workload -> speedup per availability (same order).
+    series: Dict[str, List[float]]
+
+    def mean_at(self, availability: float) -> float:
+        index = self.availabilities.index(availability)
+        return geometric_mean([s[index] for s in self.series.values()])
+
+    def crossover(self, name: str) -> Optional[float]:
+        """Highest swept availability at which the workload loses."""
+        for availability, value in zip(self.availabilities, self.series[name]):
+            if value < 1.0:
+                return availability
+        return None
+
+
+def run_fig2(
+    availabilities: Sequence[float] = (1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1),
+    workloads: Sequence[str] = FIG2_WORKLOADS,
+    config: SystemConfig = DEFAULT_CONFIG,
+) -> Fig2Result:
+    """The motivation experiment: a plan tuned at 100% CSE, swept down.
+
+    The static plan is frozen at dedicated-CSD conditions (as
+    Summarizer-style platforms must); each sweep point runs it under a
+    throttled CSE and normalises to the no-ISP C baseline.
+    """
+    availabilities = tuple(sorted(availabilities, reverse=True))
+    series: Dict[str, List[float]] = {}
+    for name in workloads:
+        workload = get_workload(name)
+        baseline = run_c_baseline(workload.program, workload.dataset, config=config)
+        static = StaticIspBaseline(config=config)
+        plan = static.tune(workload.program, workload.n_records)
+        points = []
+        for availability in availabilities:
+            machine = build_machine(config)
+            machine.csd.cse.set_availability(availability)
+            result = static.run(
+                workload.program, workload.dataset, machine=machine, plan=plan
+            )
+            points.append(speedup(baseline.total_seconds, result.total_seconds))
+        series[name] = points
+    return Fig2Result(availabilities=availabilities, series=series)
+
+
+# --- Figure 4 -----------------------------------------------------------------
+
+@dataclass
+class Fig4Row:
+    name: str
+    baseline_seconds: float
+    static_speedup: float
+    activepy_speedup: float
+    static_plan: List[str]
+    activepy_plan: List[str]
+
+    @property
+    def same_regions(self) -> bool:
+        return self.static_plan == self.activepy_plan
+
+
+@dataclass
+class Fig4Result:
+    rows: List[Fig4Row]
+
+    @property
+    def static_geomean(self) -> float:
+        return geometric_mean([r.static_speedup for r in self.rows])
+
+    @property
+    def activepy_geomean(self) -> float:
+        return geometric_mean([r.activepy_speedup for r in self.rows])
+
+    def row(self, name: str) -> Fig4Row:
+        for row in self.rows:
+            if row.name == name:
+                return row
+        raise KeyError(name)
+
+
+def run_fig4(
+    workloads: Sequence[str] = TABLE1_WORKLOADS,
+    config: SystemConfig = DEFAULT_CONFIG,
+) -> Fig4Result:
+    """ActivePy vs programmer-directed static ISP, both over C baseline."""
+    rows = []
+    for name in workloads:
+        workload = get_workload(name)
+        baseline = run_c_baseline(workload.program, workload.dataset, config=config)
+        static = StaticIspBaseline(config=config)
+        static_plan = static.tune(workload.program, workload.n_records)
+        static_result = static.run(
+            workload.program, workload.dataset, plan=static_plan
+        )
+        report = ActivePy(config=config).run(workload.program, workload.dataset)
+        rows.append(
+            Fig4Row(
+                name=name,
+                baseline_seconds=baseline.total_seconds,
+                static_speedup=speedup(
+                    baseline.total_seconds, static_result.total_seconds
+                ),
+                activepy_speedup=speedup(
+                    baseline.total_seconds, report.total_seconds
+                ),
+                static_plan=list(static_plan.assignments),
+                activepy_plan=list(report.plan.assignments),
+            )
+        )
+    return Fig4Result(rows=rows)
+
+
+# --- Figure 5 -----------------------------------------------------------------
+
+@dataclass
+class Fig5Row:
+    name: str
+    availability: float
+    with_migration_speedup: float
+    without_migration_speedup: float
+    migrations: int
+
+    @property
+    def migration_gain(self) -> float:
+        return self.with_migration_speedup / self.without_migration_speedup
+
+
+@dataclass
+class Fig5Result:
+    rows: List[Fig5Row]
+
+    def at(self, availability: float) -> List[Fig5Row]:
+        return [r for r in self.rows if r.availability == availability]
+
+    def mean_gain(self, availability: float) -> float:
+        return geometric_mean([r.migration_gain for r in self.at(availability)])
+
+    def mean_without(self, availability: float) -> float:
+        return geometric_mean(
+            [r.without_migration_speedup for r in self.at(availability)]
+        )
+
+    def mean_with(self, availability: float) -> float:
+        return geometric_mean(
+            [r.with_migration_speedup for r in self.at(availability)]
+        )
+
+
+def run_fig5(
+    availabilities: Sequence[float] = (0.5, 0.1),
+    workloads: Sequence[str] = FIG5_WORKLOADS,
+    config: SystemConfig = DEFAULT_CONFIG,
+    stress_progress: float = 0.5,
+) -> Fig5Result:
+    """Stress the CSE mid-run; compare ActivePy with vs without migration.
+
+    The paper stresses the device "right after each application's ISP
+    tasks make 50% of their progress"; ``stress_progress`` is that
+    trigger point.
+    """
+    rows = []
+    for name in workloads:
+        workload = get_workload(name)
+        baseline = run_c_baseline(workload.program, workload.dataset, config=config)
+        for availability in availabilities:
+            triggers = [(stress_progress, availability)]
+            with_migration = ActivePy(config=config, migration_enabled=True).run(
+                workload.program, workload.dataset, progress_triggers=triggers
+            )
+            without_migration = ActivePy(config=config, migration_enabled=False).run(
+                workload.program, workload.dataset, progress_triggers=triggers
+            )
+            rows.append(
+                Fig5Row(
+                    name=name,
+                    availability=availability,
+                    with_migration_speedup=speedup(
+                        baseline.total_seconds, with_migration.total_seconds
+                    ),
+                    without_migration_speedup=speedup(
+                        baseline.total_seconds, without_migration.total_seconds
+                    ),
+                    migrations=len(with_migration.result.migrations),
+                )
+            )
+    return Fig5Result(rows=rows)
+
+
+# --- §V: language-runtime overhead ladder ------------------------------------
+
+@dataclass
+class LadderResult:
+    """Host-only slowdowns of each runtime mode vs hand-written C."""
+
+    #: workload -> {mode name -> slowdown over C}.
+    per_workload: Dict[str, Dict[str, float]]
+
+    def mean_overhead(self, mode: str) -> float:
+        return geometric_mean(
+            [modes[mode] for modes in self.per_workload.values()]
+        ) - 1.0
+
+
+def run_overhead_ladder(
+    workloads: Sequence[str] = TABLE1_WORKLOADS,
+    config: SystemConfig = DEFAULT_CONFIG,
+) -> LadderResult:
+    """Python +41% -> Cython +20% -> ActivePy ~ C (§V), no ISP anywhere."""
+    per_workload: Dict[str, Dict[str, float]] = {}
+    for name in workloads:
+        workload = get_workload(name)
+        c_seconds = None
+        modes = {}
+        for mode in (
+            ExecutionMode.C, ExecutionMode.PYTHON,
+            ExecutionMode.CYTHON, ExecutionMode.ACTIVEPY,
+        ):
+            machine = build_machine(config)
+            machine.csd.store_dataset(workload.dataset.name, workload.raw_bytes)
+            estimates = ground_truth_estimates(
+                workload.program, workload.n_records, config
+            )
+            result = run_plan(
+                machine=machine,
+                program=workload.program,
+                plan=host_only_plan(estimates),
+                dataset=workload.dataset,
+                mode=mode,
+                config=config,
+            )
+            if mode is ExecutionMode.C:
+                c_seconds = result.total_seconds
+            modes[mode.value] = result.total_seconds / c_seconds
+        per_workload[name] = modes
+    return LadderResult(per_workload=per_workload)
+
+
+# --- §V: prediction accuracy ---------------------------------------------------
+
+@dataclass
+class PredictionRow:
+    workload: str
+    line: str
+    predicted_bytes: float
+    actual_bytes: float
+
+    @property
+    def error(self) -> float:
+        return relative_error(self.predicted_bytes, self.actual_bytes)
+
+    @property
+    def ratio(self) -> float:
+        if self.actual_bytes == 0:
+            return 1.0
+        return self.predicted_bytes / self.actual_bytes
+
+
+@dataclass
+class PredictionResult:
+    rows: List[PredictionRow]
+    csr_lines: List[PredictionRow] = field(default_factory=list)
+
+    #: A prediction off by more than this factor counts as an outlier
+    #: (the paper "discounts the outliers (e.g., CSR format)").
+    outlier_ratio: float = 2.0
+
+    def outliers(self) -> List[PredictionRow]:
+        """Rows whose prediction deviates by more than ``outlier_ratio``.
+
+        In practice these are exactly the CSR-derived volumes of the
+        sparse workloads — the structures whose footprint depends on
+        the vertex universe the biased sample prefix cannot represent.
+        """
+        return [
+            r for r in self.rows
+            if r.ratio > self.outlier_ratio or r.ratio < 1.0 / self.outlier_ratio
+        ]
+
+    def geomean_error_excluding_outliers(self) -> float:
+        """Geometric mean of (1 + error) - 1, outliers discounted.
+
+        Matches the paper's "geometric mean of our error rate that
+        discounts the outliers (e.g., CSR format) is only 9%".  Only
+        lines with material volumes (>= 10 MB) enter the mean; tiny
+        aggregate outputs are irrelevant to Equation 1 either way.
+        """
+        outliers = set(id(r) for r in self.outliers())
+        material = [
+            r for r in self.rows
+            if id(r) not in outliers and r.actual_bytes >= GB / 100
+        ]
+        if not material:
+            return 0.0
+        return geometric_mean([1.0 + r.error for r in material]) - 1.0
+
+    def max_csr_overestimate(self) -> float:
+        if not self.csr_lines:
+            return 1.0
+        return max(r.ratio for r in self.csr_lines)
+
+    def csr_always_overestimated(self) -> bool:
+        """The paper: "ActivePy always over-estimates ... after CSR"."""
+        return all(r.ratio > 1.0 for r in self.csr_lines)
+
+
+def run_prediction_accuracy(
+    workloads: Sequence[str] = FIG5_WORKLOADS,
+    config: SystemConfig = DEFAULT_CONFIG,
+) -> PredictionResult:
+    """Per-line data-volume prediction vs population ground truth."""
+    rows: List[PredictionRow] = []
+    csr_lines: List[PredictionRow] = []
+    sampler = SamplingPhase(config)
+    for name in workloads:
+        workload = get_workload(name)
+        report = sampler.run(workload.program, workload.dataset)
+        estimates = build_estimates(report, workload.n_records, config)
+        truths = ground_truth_estimates(workload.program, workload.n_records, config)
+        for estimate, truth, statement in zip(estimates, truths, workload.program):
+            row = PredictionRow(
+                workload=name,
+                line=statement.name,
+                predicted_bytes=estimate.d_out,
+                actual_bytes=truth.d_out,
+            )
+            rows.append(row)
+            if "csr" in statement.name:
+                csr_lines.append(row)
+    return PredictionResult(rows=rows, csr_lines=csr_lines)
+
+
+# --- §V: the CSR claim across different input matrices ---------------------------
+
+@dataclass
+class CsrSweepRow:
+    """Prediction ratio for one synthetic matrix family."""
+
+    avg_degree: float
+    alpha: float
+    predicted_bytes: float
+    actual_bytes: float
+
+    @property
+    def ratio(self) -> float:
+        return self.predicted_bytes / self.actual_bytes
+
+
+def run_csr_matrix_sweep(
+    degrees: Sequence[float] = (4.0, 8.0, 16.0),
+    alphas: Sequence[float] = (1.2, 1.5, 1.9),
+    n_edges: int = 50_000_000,
+    config: SystemConfig = DEFAULT_CONFIG,
+) -> List[CsrSweepRow]:
+    """The paper's robustness check: "Our experiments on different
+    input matrices show that ActivePy always over-estimates the data
+    volume after generating CSR."
+
+    Sweeps the degree distribution of the stored edge list and repeats
+    the sampling-phase measurement of the CSR conversion for each.
+    """
+    from ..graph.generators import power_law_prefix, power_law_true_csr_bytes
+    from ..lang.dataset import Dataset
+    from ..workloads.pagerank import _k_build_csr, _k_parse
+
+    rows: List[CsrSweepRow] = []
+    for avg_degree in degrees:
+        for alpha in alphas:
+            def builder(n, full, avg_degree=avg_degree, alpha=alpha):
+                src, dst, _ = power_law_prefix(
+                    prefix_edges=n, full_edges=full,
+                    avg_degree=avg_degree, alpha=alpha, seed=701,
+                )
+                return {"src": src, "dst": dst}
+
+            dataset = Dataset(
+                name=f"csr-sweep-d{avg_degree}-a{alpha}",
+                n_records=n_edges,
+                record_bytes=24.0,
+                builder=builder,
+            )
+            # Measure the CSR line exactly as the sampling phase does.
+            from ..runtime.fitting import fit_curve
+            from ..runtime.profiler import payload_nbytes
+
+            ns, measured = [], []
+            for factor in config.sampling_factors:
+                sample = dataset.sample(factor)
+                payload = _k_build_csr(_k_parse(sample.payload))
+                ns.append(float(sample.n_records))
+                measured.append(payload_nbytes(payload))
+            predicted = fit_curve(ns, measured).predict(n_edges)
+            actual = power_law_true_csr_bytes(
+                n_edges, avg_degree=avg_degree, weighted=False
+            )
+            rows.append(CsrSweepRow(
+                avg_degree=avg_degree, alpha=alpha,
+                predicted_bytes=predicted, actual_bytes=actual,
+            ))
+    return rows
+
+
+# --- convenience: one workload end to end ---------------------------------------
+
+@dataclass
+class WorkloadComparison:
+    workload: Workload
+    baseline_seconds: float
+    activepy_seconds: float
+    plan: List[str]
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_seconds / self.activepy_seconds
+
+
+def compare_workload(
+    name: str,
+    scale: float = 1.0,
+    config: SystemConfig = DEFAULT_CONFIG,
+) -> WorkloadComparison:
+    """C baseline vs ActivePy for one workload (examples use this)."""
+    workload = get_workload(name, scale)
+    baseline = run_c_baseline(workload.program, workload.dataset, config=config)
+    report = ActivePy(config=config).run(workload.program, workload.dataset)
+    return WorkloadComparison(
+        workload=workload,
+        baseline_seconds=baseline.total_seconds,
+        activepy_seconds=report.total_seconds,
+        plan=list(report.plan.assignments),
+    )

@@ -1,0 +1,46 @@
+"""Summary statistics used across experiment reports."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from ..errors import ReproError
+
+
+def speedup(baseline_seconds: float, candidate_seconds: float) -> float:
+    """How many times faster the candidate is than the baseline."""
+    if baseline_seconds <= 0 or candidate_seconds <= 0:
+        raise ReproError(
+            f"speedup needs positive times, got {baseline_seconds} "
+            f"and {candidate_seconds}"
+        )
+    return baseline_seconds / candidate_seconds
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's aggregate for speedups and errors)."""
+    values = list(values)
+    if not values:
+        raise ReproError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ReproError("geometric mean needs positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def relative_error(predicted: float, actual: float) -> float:
+    """|predicted - actual| / actual (0 when both are zero)."""
+    if actual == 0:
+        return 0.0 if predicted == 0 else math.inf
+    return abs(predicted - actual) / abs(actual)
+
+
+def slowdown_fraction(baseline_seconds: float, candidate_seconds: float) -> float:
+    """Fractional performance loss of the candidate vs the baseline.
+
+    Positive means the candidate is slower; the paper quotes these as
+    "67% performance loss".
+    """
+    if baseline_seconds <= 0:
+        raise ReproError("baseline time must be positive")
+    return 1.0 - baseline_seconds / candidate_seconds

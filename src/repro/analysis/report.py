@@ -1,0 +1,65 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper's tables
+and figures report; these helpers keep that output aligned and
+readable in a terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import ReproError
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render rows as a fixed-width table with a header rule."""
+    rows = [[_cell(value) for value in row] for row in rows]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+    widths = [
+        max(len(header), *(len(row[i]) for row in rows)) if rows else len(header)
+        for i, header in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    reference: float = 1.0,
+    unit: str = "x",
+) -> str:
+    """Horizontal bars with a reference marker (the figures' 1.0 line)."""
+    if len(labels) != len(values):
+        raise ReproError(f"{len(labels)} labels for {len(values)} values")
+    if not values:
+        return "(no data)"
+    peak = max(max(values), reference)
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = max(1, round(value / peak * width))
+        bar = "#" * filled
+        marker_pos = round(reference / peak * width)
+        if marker_pos < width:
+            bar = bar.ljust(width)
+            bar = bar[:marker_pos] + ("|" if bar[marker_pos] == " " else bar[marker_pos]) + bar[marker_pos + 1:]
+        lines.append(f"{label.ljust(label_width)}  {bar.rstrip()}  {value:.3f}{unit}")
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

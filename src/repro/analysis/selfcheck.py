@@ -1,0 +1,86 @@
+"""Reproduction self-check: fast verification against pinned results.
+
+``python -m repro selfcheck`` runs a quick, deterministic subset of the
+evaluation and compares every number against the expectations pinned in
+``expected.py``.  Use it after touching any cost model, config constant
+or runtime mechanism: a clean pass means the reproduction's headline
+numbers did not move (within tolerance); a failure lists exactly which
+quantities drifted and by how much.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..baselines import StaticIspBaseline, run_c_baseline
+from ..config import DEFAULT_CONFIG
+from ..runtime.activepy import ActivePy
+from ..workloads import get_workload
+from .compare import diff_results
+from .expected import EXPECTED_SELFCHECK
+
+#: Relative drift allowed before a quantity counts as moved.
+DEFAULT_TOLERANCE = 0.02
+
+#: Fast but representative subset: one scan query, the CSR case, and
+#: the compute-heavy mixture.
+SELFCHECK_WORKLOADS = ("tpch_q6", "pagerank", "mixedgemm")
+
+
+@dataclass
+class SelfCheckResult:
+    measured: Dict[str, float]
+    drifted: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.drifted
+
+    def render(self) -> str:
+        lines = []
+        for key in sorted(self.measured):
+            expected = EXPECTED_SELFCHECK.get(key)
+            mark = "drifted" if any(d.startswith(key) for d in self.drifted) else "ok"
+            lines.append(
+                f"{key:<34} measured {self.measured[key]:>9.4f}  "
+                f"expected {expected if expected is not None else '?':>9}  {mark}"
+            )
+        status = "PASS" if self.ok else f"FAIL ({len(self.drifted)} drifted)"
+        lines.append(f"\nself-check: {status}")
+        return "\n".join(lines)
+
+
+def measure_selfcheck() -> Dict[str, float]:
+    """The quantities the self-check pins, measured fresh."""
+    measured: Dict[str, float] = {}
+    for name in SELFCHECK_WORKLOADS:
+        workload = get_workload(name)
+        baseline = run_c_baseline(workload.program, workload.dataset)
+        static = StaticIspBaseline()
+        static_result = static.run(workload.program, workload.dataset)
+        report = ActivePy().run(workload.program, workload.dataset)
+        measured[f"{name}.baseline_seconds"] = round(baseline.total_seconds, 4)
+        measured[f"{name}.static_speedup"] = round(
+            baseline.total_seconds / static_result.total_seconds, 4
+        )
+        measured[f"{name}.activepy_speedup"] = round(
+            baseline.total_seconds / report.total_seconds, 4
+        )
+        measured[f"{name}.csd_lines"] = float(len(report.plan.csd_lines))
+    measured["config.break_even_instr_per_byte"] = round(
+        (1 / DEFAULT_CONFIG.bw_host_storage - 1 / DEFAULT_CONFIG.bw_internal)
+        / (1 / DEFAULT_CONFIG.cse_ips - 1 / DEFAULT_CONFIG.host_ips),
+        4,
+    )
+    return measured
+
+
+def run_selfcheck(tolerance: float = DEFAULT_TOLERANCE) -> SelfCheckResult:
+    """Measure and compare against the pinned expectations."""
+    measured = measure_selfcheck()
+    changes = diff_results(EXPECTED_SELFCHECK, measured, threshold=tolerance)
+    return SelfCheckResult(
+        measured=measured,
+        drifted=[str(change) for change in changes],
+    )

@@ -1,0 +1,124 @@
+"""Execution timelines: what ran where, when.
+
+An :class:`ExecutionTimeline` collects timestamped spans (compute on a
+unit, a transfer on a link, a compile, a migration) as the executor
+runs, and renders them as a plain-text Gantt chart.  Used by the
+examples to *show* a migration and by tests to assert structural
+properties (no overlapping spans on one unit, time conservation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ReproError
+from ..units import format_seconds
+
+
+@dataclass(frozen=True)
+class TimelineSpan:
+    """One span of activity on one resource."""
+
+    start: float
+    end: float
+    resource: str  # "host", "csd", "d2h", ...
+    kind: str      # "compute", "storage", "transfer", "compile", "migration", "sampling"
+    label: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class ExecutionTimeline:
+    """Ordered record of spans across all resources."""
+
+    def __init__(self) -> None:
+        self._spans: List[TimelineSpan] = []
+
+    def record(self, start: float, end: float, resource: str, kind: str, label: str) -> None:
+        if end < start:
+            raise ReproError(f"span ends before it starts: {start} > {end}")
+        self._spans.append(TimelineSpan(start, end, resource, kind, label))
+
+    @property
+    def spans(self) -> List[TimelineSpan]:
+        return sorted(self._spans, key=lambda s: (s.start, s.end))
+
+    def resources(self) -> List[str]:
+        seen: List[str] = []
+        for span in self.spans:
+            if span.resource not in seen:
+                seen.append(span.resource)
+        return seen
+
+    def busy_seconds(self, resource: str) -> float:
+        """Total span time recorded on one resource."""
+        return sum(s.duration for s in self._spans if s.resource == resource)
+
+    def span_of(self, label: str) -> TimelineSpan:
+        for span in self._spans:
+            if span.label == label:
+                return span
+        raise ReproError(f"no span labelled {label!r}")
+
+    @property
+    def makespan(self) -> float:
+        if not self._spans:
+            return 0.0
+        return max(s.end for s in self._spans) - min(s.start for s in self._spans)
+
+    # --- rendering ---------------------------------------------------------
+
+    def render(self, width: int = 64) -> str:
+        """Plain-text Gantt chart, one lane per resource."""
+        spans = self.spans
+        if not spans:
+            return "(empty timeline)"
+        t0 = min(s.start for s in spans)
+        t1 = max(s.end for s in spans)
+        total = max(t1 - t0, 1e-12)
+        label_width = max(len(r) for r in self.resources())
+        lines = []
+        for resource in self.resources():
+            lane = [" "] * width
+            for span in spans:
+                if span.resource != resource:
+                    continue
+                lo = int((span.start - t0) / total * (width - 1))
+                hi = max(lo + 1, int(round((span.end - t0) / total * (width - 1))) + 1)
+                mark = _MARKS.get(span.kind, "#")
+                for i in range(lo, min(hi, width)):
+                    lane[i] = mark
+            lines.append(f"{resource.ljust(label_width)} |{''.join(lane)}|")
+        lines.append(
+            f"{' ' * label_width}  0{' ' * (width - len(format_seconds(total)) - 1)}"
+            f"{format_seconds(total)}"
+        )
+        legend = "  ".join(f"{mark}={kind}" for kind, mark in _MARKS.items())
+        lines.append(f"{' ' * label_width}  {legend}")
+        return "\n".join(lines)
+
+    def summary(self) -> Dict[str, float]:
+        """Busy seconds per resource (for reports)."""
+        return {resource: self.busy_seconds(resource) for resource in self.resources()}
+
+
+_MARKS = {
+    "sampling": "s",
+    "compile": "c",
+    "compute": "#",
+    "storage": "=",
+    "transfer": ">",
+    "migration": "M",
+}
+
+
+def merge(timelines: List[ExecutionTimeline]) -> ExecutionTimeline:
+    """Combine several timelines (e.g. per-phase) into one."""
+    merged = ExecutionTimeline()
+    for timeline in timelines:
+        for span in timeline.spans:
+            merged.record(span.start, span.end, span.resource, span.kind, span.label)
+    return merged

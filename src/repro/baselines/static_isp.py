@@ -1,0 +1,150 @@
+"""The programmer-directed static ISP baseline.
+
+The paper's strongest comparator (§V): for each C application, the
+authors "exhaustively tried to offload all reasonable combinations of
+single-entry-single-exit code regions ... when the CSD entirely
+dedicated itself to the running program" and froze the fastest
+combination.  The frozen plan is then executed under whatever
+conditions the experiment sets — which is exactly why it collapses when
+CSE availability drops (Figures 2 and 5): a compiled-C framework has
+no mechanism to move the work back.
+
+Unlike ActivePy, the programmer knows the application's true costs, so
+the search here uses ground-truth per-line estimates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..config import DEFAULT_CONFIG, SystemConfig
+from ..errors import PlanningError
+from ..hw.topology import Machine, build_machine
+from ..lang.dataset import Dataset
+from ..lang.program import Program
+from ..runtime.activepy import run_plan
+from ..runtime.codegen import ExecutionMode
+from ..runtime.estimator import LineEstimate
+from ..runtime.executor import ExecutionResult, ProgressTrigger
+from ..runtime.planner import CSD, HOST, Plan, projected_time
+
+#: Exhaustive search is exponential in line count; the paper's
+#: applications have well under this many SESE regions.
+_MAX_SEARCH_LINES = 16
+
+
+def ground_truth_estimates(
+    program: Program,
+    n_records: int,
+    config: SystemConfig,
+    cse_availability: float = 1.0,
+) -> List[LineEstimate]:
+    """Per-line estimates from the statements' true cost models.
+
+    This is what a programmer who measured their C code exhaustively
+    would know.  ``cse_availability`` scales device compute for oracle
+    re-tuning studies (Figure 2's "oracle" line).
+    """
+    if n_records <= 0:
+        raise PlanningError(f"n_records must be positive, got {n_records}")
+    if not 0 < cse_availability <= 1:
+        raise PlanningError(f"availability must lie in (0, 1], got {cse_availability}")
+    n = float(n_records)
+    c_factor = config.device_speed_ratio / cse_availability
+    estimates: List[LineEstimate] = []
+    previous_out = 0.0
+    for index, statement in enumerate(program):
+        compute = statement.instructions(n) / config.host_ips
+        storage = statement.storage_bytes(n)
+        d_out = statement.output_bytes(n)
+        estimates.append(
+            LineEstimate(
+                index=index,
+                name=statement.name,
+                ct_host=compute + storage / config.bw_host_storage,
+                ct_device=compute * c_factor + storage / config.bw_internal,
+                d_in=previous_out,
+                d_out=d_out,
+                d_storage=storage,
+                compute_host=compute,
+            )
+        )
+        previous_out = d_out
+    return estimates
+
+
+def exhaustive_best_plan(
+    estimates: Sequence[LineEstimate],
+    config: SystemConfig,
+) -> Plan:
+    """Try every host/CSD assignment; keep the fastest projection."""
+    k = len(estimates)
+    if k == 0:
+        raise PlanningError("cannot search an empty program")
+    if k > _MAX_SEARCH_LINES:
+        raise PlanningError(
+            f"exhaustive search over {k} lines is infeasible "
+            f"(limit {_MAX_SEARCH_LINES})"
+        )
+    t_host = sum(e.ct_host for e in estimates)
+    best_assignments = [HOST] * k
+    best_time = t_host
+    for combo in itertools.product((HOST, CSD), repeat=k):
+        time = projected_time(combo, estimates, config)
+        if time < best_time:
+            best_time = time
+            best_assignments = list(combo)
+    return Plan(
+        assignments=best_assignments,
+        t_host=t_host,
+        t_csd=best_time,
+        estimates=tuple(estimates),
+    )
+
+
+@dataclass
+class StaticIspBaseline:
+    """Programmer-directed C ISP: tuned once, then inflexible."""
+
+    config: SystemConfig = DEFAULT_CONFIG
+    #: CSE availability assumed while tuning (the paper tunes at 100%).
+    tuning_availability: float = 1.0
+
+    def tune(self, program: Program, n_records: int) -> Plan:
+        """Find the optimal static offload for dedicated-CSD conditions."""
+        estimates = ground_truth_estimates(
+            program, n_records, self.config, cse_availability=self.tuning_availability
+        )
+        return exhaustive_best_plan(estimates, self.config)
+
+    def run(
+        self,
+        program: Program,
+        dataset: Dataset,
+        machine: Optional[Machine] = None,
+        plan: Optional[Plan] = None,
+        progress_triggers: Sequence[ProgressTrigger] = (),
+    ) -> ExecutionResult:
+        """Execute the frozen plan under the machine's actual conditions.
+
+        No monitoring, no migration: the plan chosen at tuning time is
+        the plan that runs, degraded CSE or not.
+        """
+        if machine is None:
+            machine = build_machine(self.config)
+        if not machine.csd.holds_dataset(dataset.name):
+            machine.csd.store_dataset(dataset.name, dataset.raw_bytes)
+        if plan is None:
+            plan = self.tune(program, dataset.n_records)
+        return run_plan(
+            machine=machine,
+            program=program,
+            plan=plan,
+            dataset=dataset,
+            mode=ExecutionMode.C,
+            migration_enabled=False,
+            progress_triggers=progress_triggers,
+            config=self.config,
+        )

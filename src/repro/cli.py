@@ -1,0 +1,271 @@
+"""Command-line interface.
+
+::
+
+    python -m repro list                       # the workload suite
+    python -m repro run tpch_q6 [--trace]      # one workload end to end
+    python -m repro table1                     # regenerate Table I
+    python -m repro fig2 | fig4 | fig5         # regenerate a figure
+    python -m repro ladder | prediction        # the §V results
+    python -m repro ... --json out.json        # archive the raw result
+
+Every command runs on the simulated platform; ``--scale`` shrinks the
+input population for quick smoke runs (ratios then deviate from the
+calibrated paper-scale ones).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis import export
+from .analysis.experiments import (
+    run_fig2,
+    run_fig4,
+    run_fig5,
+    run_overhead_ladder,
+    run_prediction_accuracy,
+    run_table1,
+)
+from .analysis.report import ascii_bar_chart, format_table
+from .baselines import run_c_baseline
+from .runtime.activepy import ActivePy
+from .units import format_bytes, format_seconds
+from .workloads import get_workload, workload_names
+
+
+def _cmd_list(args) -> int:
+    rows = []
+    for name in workload_names():
+        workload = get_workload(name, scale=2**-7)
+        rows.append([
+            name,
+            format_bytes(workload.table1_bytes) if workload.table1_bytes else "-",
+            len(workload.program),
+            workload.description,
+        ])
+    print(format_table(["workload", "Table I size", "lines", "description"], rows))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .hw.topology import build_machine
+
+    workload = get_workload(args.workload, scale=args.scale)
+    print(f"running {workload.name} at scale {args.scale} "
+          f"({format_bytes(workload.raw_bytes)})")
+    baseline = run_c_baseline(workload.program, workload.dataset)
+    machine = build_machine()
+    triggers = [(0.5, args.stress)] if args.stress is not None else []
+    report = ActivePy().run(
+        workload.program, workload.dataset, machine=machine,
+        trace=args.trace, progress_triggers=triggers,
+    )
+    print(f"C baseline : {format_seconds(baseline.total_seconds)}")
+    print(f"ActivePy   : {format_seconds(report.total_seconds)} "
+          f"({baseline.total_seconds / report.total_seconds:.2f}x)")
+    print("plan       : " + ", ".join(
+        f"{statement.name}->{where}"
+        for statement, where in zip(workload.program, report.plan.assignments)
+    ))
+    if report.result.migrated:
+        for event in report.result.migrations:
+            print(f"migration  : {event.line_name} at "
+                  f"{event.sim_time:.2f}s ({event.reason})")
+    if args.trace and report.timeline is not None:
+        from .analysis.utilization import utilization_report
+
+        print()
+        print(report.timeline.render())
+        print()
+        print(utilization_report(
+            machine, total_seconds=report.total_seconds,
+        ).render())
+    if args.json:
+        export.dump(report.timeline if args.trace else report.plan, args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _print_and_maybe_export(result, text: str, json_path: Optional[str]) -> int:
+    print(text)
+    if json_path:
+        export.dump(result, json_path)
+        print(f"\nwrote {json_path}")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    rows = run_table1()
+    text = format_table(
+        ["application", "data size", "regions"],
+        [[r.name, format_bytes(r.data_bytes), r.sese_regions] for r in rows],
+    )
+    return _print_and_maybe_export(rows, text, args.json)
+
+
+def _cmd_fig2(args) -> int:
+    result = run_fig2()
+    lines = ["FIGURE 2 — static C ISP speedup vs CSE availability"]
+    for name, series in result.series.items():
+        lines.append(f"\n{name}:")
+        lines.append(ascii_bar_chart(
+            [f"{a:.0%}" for a in result.availabilities], series,
+        ))
+    return _print_and_maybe_export(result, "\n".join(lines), args.json)
+
+
+def _cmd_fig4(args) -> int:
+    result = run_fig4()
+    text = format_table(
+        ["application", "static ISP", "ActivePy"],
+        [[r.name, f"{r.static_speedup:.3f}x", f"{r.activepy_speedup:.3f}x"]
+         for r in result.rows],
+    )
+    text += (f"\n\ngeomean: static {result.static_geomean:.3f}x, "
+             f"ActivePy {result.activepy_geomean:.3f}x")
+    return _print_and_maybe_export(result, text, args.json)
+
+
+def _cmd_fig5(args) -> int:
+    result = run_fig5()
+    text = format_table(
+        ["application", "availability", "ActivePy", "w/o migration"],
+        [[r.name, f"{r.availability:.0%}",
+          f"{r.with_migration_speedup:.3f}x",
+          f"{r.without_migration_speedup:.3f}x"] for r in result.rows],
+    )
+    text += f"\n\nmigration gain at 10%: {result.mean_gain(0.1):.2f}x"
+    return _print_and_maybe_export(result, text, args.json)
+
+
+def _cmd_ladder(args) -> int:
+    result = run_overhead_ladder()
+    text = "\n".join(
+        f"{mode:<9} +{result.mean_overhead(mode) * 100:.1f}%"
+        for mode in ("python", "cython", "activepy")
+    )
+    return _print_and_maybe_export(result, text, args.json)
+
+
+def _cmd_prediction(args) -> int:
+    result = run_prediction_accuracy()
+    text = (
+        f"geomean error excl. outliers: "
+        f"{result.geomean_error_excluding_outliers() * 100:.1f}%\n"
+        f"max CSR over-estimate: {result.max_csr_overestimate():.2f}x"
+    )
+    return _print_and_maybe_export(result, text, args.json)
+
+
+def _cmd_validate(args) -> int:
+    from .lang.checks import validate_program
+
+    workload = get_workload(args.workload, scale=args.scale)
+    report = validate_program(workload.program, workload.dataset)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_selfcheck(args) -> int:
+    from .analysis.selfcheck import measure_selfcheck, run_selfcheck
+
+    if args.repin:
+        measured = measure_selfcheck()
+        lines = [
+            '"""Pinned self-check expectations.',
+            "",
+            "Generated by ``python -m repro selfcheck --repin`` against the",
+            "calibrated default platform; ``run_selfcheck`` compares fresh",
+            "measurements to these within a small tolerance.",
+            '"""',
+            "",
+            "EXPECTED_SELFCHECK = {",
+        ]
+        for key, value in sorted(measured.items()):
+            lines.append(f'    "{key}": {value},')
+        lines.append("}")
+        import repro.analysis.expected as expected_module
+
+        path = expected_module.__file__
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        print(f"repinned {len(measured)} expectations to {path}")
+        return 0
+
+    result = run_selfcheck(tolerance=args.tolerance)
+    print(result.render())
+    if not result.ok:
+        for drift in result.drifted:
+            print(f"  {drift}")
+    return 0 if result.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ActivePy reproduction (DAC 2023) — simulated ISP platform",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the workload suite").set_defaults(fn=_cmd_list)
+
+    run_parser = sub.add_parser("run", help="run one workload end to end")
+    run_parser.add_argument("workload", choices=sorted(
+        ["blackscholes", "kmeans", "lightgbm", "matrixmul", "mixedgemm",
+         "pagerank", "sparsemv", "tpch_q1", "tpch_q6", "tpch_q14"]
+    ))
+    run_parser.add_argument("--scale", type=float, default=1.0,
+                            help="input scale in (0, 1] (default: paper scale)")
+    run_parser.add_argument("--trace", action="store_true",
+                            help="render the execution timeline")
+    run_parser.add_argument(
+        "--stress", type=float, default=None, metavar="AVAIL",
+        help="throttle the CSE to AVAIL once the offloaded work reaches "
+             "50%% progress (the paper's Figure 5 scenario)",
+    )
+    run_parser.add_argument("--json", metavar="PATH", default=None)
+    run_parser.set_defaults(fn=_cmd_run)
+
+    for name, fn, help_text in (
+        ("table1", _cmd_table1, "regenerate Table I"),
+        ("fig2", _cmd_fig2, "regenerate Figure 2 (availability sweep)"),
+        ("fig4", _cmd_fig4, "regenerate Figure 4 (ActivePy vs static ISP)"),
+        ("fig5", _cmd_fig5, "regenerate Figure 5 (migration study)"),
+        ("ladder", _cmd_ladder, "regenerate the §V runtime-overhead ladder"),
+        ("prediction", _cmd_prediction, "regenerate the §V accuracy result"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--json", metavar="PATH", default=None)
+        cmd.set_defaults(fn=fn)
+
+    validate_parser = sub.add_parser(
+        "validate", help="pre-flight check a workload's program definition"
+    )
+    validate_parser.add_argument("workload")
+    validate_parser.add_argument("--scale", type=float, default=2**-7)
+    validate_parser.set_defaults(fn=_cmd_validate)
+
+    selfcheck_parser = sub.add_parser(
+        "selfcheck",
+        help="verify headline numbers against pinned expectations",
+    )
+    selfcheck_parser.add_argument("--tolerance", type=float, default=0.02)
+    selfcheck_parser.add_argument(
+        "--repin", action="store_true",
+        help="overwrite the pinned expectations with fresh measurements",
+    )
+    selfcheck_parser.set_defaults(fn=_cmd_selfcheck)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

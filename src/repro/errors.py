@@ -1,0 +1,74 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subsystems define their
+own narrower types below.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A :class:`repro.config.SystemConfig` value is invalid."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly."""
+
+
+class HardwareError(ReproError):
+    """A hardware model (compute unit, link) was used incorrectly."""
+
+
+class StorageError(ReproError):
+    """A storage-device model rejected an operation."""
+
+
+class FlashError(StorageError):
+    """A NAND-level rule was violated (e.g. programming a dirty page)."""
+
+
+class AddressError(ReproError):
+    """A shared-address-space access fell outside any mapped region."""
+
+
+class AllocationError(AddressError):
+    """The allocator could not satisfy a request."""
+
+
+class ProgramError(ReproError):
+    """A :class:`repro.lang.program.Program` is malformed."""
+
+
+class DatasetError(ReproError):
+    """A dataset cannot be built, sampled, or scaled as requested."""
+
+
+class SamplingError(ReproError):
+    """The sampling phase could not collect usable statistics."""
+
+
+class FittingError(ReproError):
+    """Curve fitting was given unusable observations."""
+
+
+class PlanningError(ReproError):
+    """Algorithm 1 was given inconsistent line estimates."""
+
+
+class CodegenError(ReproError):
+    """Code generation or binary placement failed."""
+
+
+class DispatchError(ReproError):
+    """The call/completion queue protocol was violated."""
+
+
+class MigrationError(ReproError):
+    """A task checkpoint/restore could not be performed."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition or its dataset is inconsistent."""

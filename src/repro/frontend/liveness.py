@@ -1,0 +1,51 @@
+"""Per-line liveness analysis for straight-line function bodies.
+
+ActivePy's planner charges a transfer for every value crossing a
+host/CSD boundary, so the frontend must know *which* variables are
+still needed after each line — dead locals must not inflate D_out.
+For the straight-line bodies the frontend accepts (no branches or
+loops at the top level), classic backward liveness is exact.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Sequence, Set
+
+
+def names_read(node: ast.AST) -> Set[str]:
+    """Variable names loaded anywhere inside ``node``."""
+    read: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load):
+            read.add(child.id)
+    return read
+
+
+def names_written(node: ast.AST) -> Set[str]:
+    """Variable names stored (assigned) anywhere inside ``node``."""
+    written: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Store):
+            written.add(child.id)
+        elif isinstance(child, (ast.AugAssign,)) and isinstance(child.target, ast.Name):
+            written.add(child.target.id)
+    return written
+
+
+def live_after_each(statements: Sequence[ast.stmt]) -> List[Set[str]]:
+    """Variables live *after* each statement (backward dataflow).
+
+    A variable is live after line ``i`` if some line ``j > i`` reads it
+    before rewriting it.  The final statement's live-out set is empty —
+    its value leaves through ``return``, which the frontend models as
+    the line's own output.
+    """
+    live: Set[str] = set()
+    result: List[Set[str]] = [set() for _ in statements]
+    for index in range(len(statements) - 1, -1, -1):
+        result[index] = set(live)
+        statement = statements[index]
+        live -= names_written(statement)
+        live |= names_read(statement)
+    return result

@@ -1,0 +1,7 @@
+"""Hardware models: compute units, interconnect links, and topology."""
+
+from .compute import ComputeUnit, PerfCounters
+from .interconnect import Link
+from .topology import Machine, build_machine
+
+__all__ = ["ComputeUnit", "PerfCounters", "Link", "Machine", "build_machine"]

@@ -1,0 +1,86 @@
+"""Interconnect link model.
+
+A :class:`Link` converts a transfer size into simulated time using a
+bandwidth plus a fixed per-message latency, and keeps cumulative traffic
+statistics.  Three links matter in the reproduction, mirroring Figure 1
+of the paper:
+
+* the host's storage-read path (shared PCIe 3.0, ~1.6 GB/s effective),
+* the CSD-internal NAND bus (9 GB/s, measured in the paper's §IV-A),
+* the device-to-host NVMe transfer path for processed data (~3 GB/s).
+"""
+
+from __future__ import annotations
+
+from ..errors import HardwareError
+from ..sim.clock import SimClock
+
+
+class Link:
+    """A point-to-point link with bandwidth, latency, and accounting."""
+
+    def __init__(
+        self,
+        name: str,
+        bandwidth: float,
+        clock: SimClock,
+        latency_s: float = 0.0,
+    ) -> None:
+        if bandwidth <= 0:
+            raise HardwareError(f"link {name!r} needs positive bandwidth, got {bandwidth}")
+        if latency_s < 0:
+            raise HardwareError(f"link {name!r} needs non-negative latency, got {latency_s}")
+        self.name = name
+        self.bandwidth = float(bandwidth)
+        self.latency_s = float(latency_s)
+        self.clock = clock
+        self.bytes_transferred = 0.0
+        self.transfers = 0
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` across the link."""
+        if nbytes < 0:
+            raise HardwareError(f"transfer size must be non-negative, got {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        return self.latency_s + nbytes / self.bandwidth
+
+    def transfer(self, nbytes: float) -> float:
+        """Move ``nbytes`` synchronously; advance the clock.
+
+        Returns the elapsed simulated time and updates traffic counters.
+        Zero-byte transfers are free (no message is sent).
+        """
+        elapsed = self.transfer_time(nbytes)
+        if elapsed > 0:
+            self.clock.advance(elapsed)
+        self.bytes_transferred += nbytes
+        if nbytes > 0:
+            self.transfers += 1
+        return elapsed
+
+    def account(self, nbytes: float) -> None:
+        """Record traffic without advancing time.
+
+        Used by overlapped execution, where the enclosing chunk already
+        advanced the clock by max(io, compute) and the link only needs
+        its statistics updated.
+        """
+        if nbytes < 0:
+            raise HardwareError(f"transfer size must be non-negative, got {nbytes}")
+        self.bytes_transferred += nbytes
+        if nbytes > 0:
+            self.transfers += 1
+
+    def message(self) -> float:
+        """Send a minimal control message (doorbell, status update)."""
+        self.clock.advance(self.latency_s)
+        self.transfers += 1
+        return self.latency_s
+
+    def reset_stats(self) -> None:
+        self.bytes_transferred = 0.0
+        self.transfers = 0
+
+    def __repr__(self) -> str:
+        return f"Link(name={self.name!r}, bandwidth={self.bandwidth:.3g} B/s)"

@@ -1,0 +1,139 @@
+"""Machine topology: host + interconnect + CSD(s) wired together.
+
+:func:`build_machine` constructs the platform of the paper's §IV-A —
+an x86-class host, a PCIe 3.0 system interconnect, and a CSD — over one
+shared simulator and one shared address space.  Everything above this
+layer (the ActivePy runtime, the baselines, the benchmarks) receives a
+:class:`Machine` and never constructs hardware directly.
+
+The paper's runtime "can migrate tasks among different compute units"
+including multiple CSDs; ``build_machine(num_csds=N)`` attaches N
+devices (``csd``, ``csd1``, ``csd2``, …), each with its own NAND, CSE,
+queue pair and BAR window.  A program offloads to the device that holds
+its dataset (:meth:`Machine.device_holding`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..config import DEFAULT_CONFIG, SystemConfig
+from ..errors import HardwareError, StorageError
+from ..memory.address_space import SharedAddressSpace
+from ..sim.engine import Simulator
+from ..storage.csd import ComputationalStorageDevice
+from ..units import GIB
+from .compute import ComputeUnit
+from .interconnect import Link
+
+
+@dataclass
+class Machine:
+    """The simulated platform an experiment runs on."""
+
+    config: SystemConfig
+    simulator: Simulator
+    space: SharedAddressSpace
+    host: ComputeUnit
+    csds: Tuple[ComputationalStorageDevice, ...]
+    #: Host-visible storage read path (shared PCIe + filesystem).
+    host_storage_link: Link
+    #: Device-to-host transfer path for processed data (NVMe).
+    d2h_link: Link
+    #: Host load/store path into CSD memory after a migration (BAR).
+    remote_access_link: Link
+
+    def __post_init__(self) -> None:
+        if not self.csds:
+            raise HardwareError("a machine needs at least one CSD")
+
+    @property
+    def csd(self) -> ComputationalStorageDevice:
+        """The primary device (single-CSD code uses this)."""
+        return self.csds[0]
+
+    @property
+    def now(self) -> float:
+        return self.simulator.now
+
+    def unit_named(self, name: str) -> ComputeUnit:
+        """Resolve a compute unit by plan location name."""
+        if name == "host":
+            return self.host
+        for device in self.csds:
+            if name == device.name:
+                return device.cse
+        raise KeyError(f"no compute unit named {name!r}")
+
+    def device_named(self, name: str) -> ComputationalStorageDevice:
+        for device in self.csds:
+            if device.name == name:
+                return device
+        raise KeyError(f"no CSD named {name!r}")
+
+    def device_holding(self, dataset_name: str) -> ComputationalStorageDevice:
+        """The CSD a dataset resides on (offload target resolution)."""
+        for device in self.csds:
+            if device.holds_dataset(dataset_name):
+                return device
+        raise StorageError(f"no attached CSD holds dataset {dataset_name!r}")
+
+    def reset_counters(self) -> None:
+        """Clear perf counters and link statistics (between phases)."""
+        self.host.counters.reset()
+        for device in self.csds:
+            device.cse.counters.reset()
+        for link in (self.host_storage_link, self.d2h_link, self.remote_access_link):
+            link.reset_stats()
+
+
+def build_machine(
+    config: SystemConfig = DEFAULT_CONFIG,
+    num_csds: int = 1,
+) -> Machine:
+    """Construct a fresh machine from a configuration."""
+    if num_csds < 1:
+        raise HardwareError(f"num_csds must be at least 1, got {num_csds}")
+    simulator = Simulator()
+    space = SharedAddressSpace()
+    # Host DRAM first so host allocations land at low addresses.
+    space.map_region(name="host.dram", size=64 * GIB, location="host")
+    host = ComputeUnit(name="host", ips=config.host_ips, clock=simulator.clock)
+    csds = tuple(
+        ComputationalStorageDevice(
+            config=config,
+            simulator=simulator,
+            space=space,
+            name="csd" if index == 0 else f"csd{index}",
+        )
+        for index in range(num_csds)
+    )
+    host_storage_link = Link(
+        name="host-storage",
+        bandwidth=config.bw_host_storage,
+        clock=simulator.clock,
+        latency_s=config.effective_link_latency_s,
+    )
+    d2h_link = Link(
+        name="d2h",
+        bandwidth=config.bw_d2h,
+        clock=simulator.clock,
+        latency_s=config.effective_link_latency_s,
+    )
+    remote_access_link = Link(
+        name="remote-access",
+        bandwidth=config.bw_remote_access,
+        clock=simulator.clock,
+        latency_s=config.effective_link_latency_s,
+    )
+    return Machine(
+        config=config,
+        simulator=simulator,
+        space=space,
+        host=host,
+        csds=csds,
+        host_storage_link=host_storage_link,
+        d2h_link=d2h_link,
+        remote_access_link=remote_access_link,
+    )

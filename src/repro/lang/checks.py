@@ -1,0 +1,161 @@
+"""Static and dynamic validation of program definitions.
+
+:func:`validate_program` is the pre-flight check workload authors run
+before trusting a new program definition: it verifies the cost laws are
+sane (non-negative, non-decreasing over scale), actually executes the
+kernels on a small probe sample, and compares measured volumes against
+the declared laws — the same honesty contract
+`tests/test_workloads.py` enforces for the built-in suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import ProgramError
+from .dataset import Dataset
+from .program import Program
+
+#: Scales probed for monotonicity of the cost laws.
+_PROBE_SCALES = (1_000.0, 10_000.0, 100_000.0, 1_000_000.0)
+
+
+@dataclass
+class ValidationIssue:
+    line: str
+    severity: str  # "error" or "warning"
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.line}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    program_name: str
+    issues: List[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not any(issue.severity == "error" for issue in self.issues)
+
+    @property
+    def errors(self) -> List[ValidationIssue]:
+        return [issue for issue in self.issues if issue.severity == "error"]
+
+    @property
+    def warnings(self) -> List[ValidationIssue]:
+        return [issue for issue in self.issues if issue.severity == "warning"]
+
+    def render(self) -> str:
+        if not self.issues:
+            return f"{self.program_name}: ok"
+        return "\n".join(
+            [f"{self.program_name}: {len(self.errors)} error(s), "
+             f"{len(self.warnings)} warning(s)"]
+            + [f"  {issue}" for issue in self.issues]
+        )
+
+
+def validate_program(
+    program: Program,
+    dataset: Optional[Dataset] = None,
+    probe_factor: float = 2**-10,
+    volume_tolerance: float = 0.35,
+) -> ValidationReport:
+    """Check a program's cost laws and, with a dataset, its kernels.
+
+    Static checks (always): every cost law must be non-negative and
+    non-decreasing across probe scales.  Dynamic checks (with a
+    dataset): run the kernels on a ``probe_factor`` sample, flag kernel
+    failures as errors and measured-vs-declared output mismatches
+    beyond ``volume_tolerance`` as warnings (the sparse workloads'
+    sampling bias is legitimate — that is the paper's §V — so a
+    mismatch is a prompt to look, not necessarily a bug).
+    """
+    report = ValidationReport(program_name=program.name)
+
+    for statement in program:
+        for label, law in (
+            ("instructions", statement.instructions),
+            ("output_bytes", statement.output_bytes),
+            ("storage_bytes", statement.storage_bytes),
+        ):
+            values = []
+            for scale in _PROBE_SCALES:
+                try:
+                    value = law(scale)
+                except Exception as exc:
+                    report.issues.append(ValidationIssue(
+                        statement.name, "error",
+                        f"{label} raised at n={scale:g}: {exc}",
+                    ))
+                    break
+                if value < 0:
+                    report.issues.append(ValidationIssue(
+                        statement.name, "error",
+                        f"{label} is negative at n={scale:g} ({value:g})",
+                    ))
+                    break
+                values.append(value)
+            else:
+                if any(b < a - 1e-9 for a, b in zip(values, values[1:])):
+                    report.issues.append(ValidationIssue(
+                        statement.name, "error",
+                        f"{label} decreases with scale ({values})",
+                    ))
+
+    if dataset is not None:
+        _dynamic_checks(program, dataset, probe_factor, volume_tolerance, report)
+    return report
+
+
+def _dynamic_checks(
+    program: Program,
+    dataset: Dataset,
+    probe_factor: float,
+    volume_tolerance: float,
+    report: ValidationReport,
+) -> None:
+    from ..runtime.profiler import payload_nbytes
+
+    try:
+        sample = dataset.sample(probe_factor)
+    except Exception as exc:
+        report.issues.append(ValidationIssue(
+            "(dataset)", "error", f"cannot draw a probe sample: {exc}",
+        ))
+        return
+    n = sample.n_records
+    try:
+        payload = sample.payload
+    except Exception as exc:
+        report.issues.append(ValidationIssue(
+            "(dataset)", "error", f"builder failed at n={n}: {exc}",
+        ))
+        return
+
+    for statement in program:
+        try:
+            payload = statement.kernel(payload)
+        except Exception as exc:
+            report.issues.append(ValidationIssue(
+                statement.name, "error", f"kernel failed on probe: {exc}",
+            ))
+            return
+        if not isinstance(payload, dict):
+            report.issues.append(ValidationIssue(
+                statement.name, "error",
+                f"kernel returned {type(payload).__name__}, expected dict",
+            ))
+            return
+        declared = statement.output_bytes(n)
+        measured = payload_nbytes(payload)
+        reference = max(declared, 1.0)
+        if abs(measured - declared) > volume_tolerance * reference + 1024:
+            report.issues.append(ValidationIssue(
+                statement.name, "warning",
+                f"measured output {measured:.4g} B deviates from declared "
+                f"{declared:.4g} B at n={n} (sampling bias, or a stale law?)",
+            ))

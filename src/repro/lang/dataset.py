@@ -1,0 +1,136 @@
+"""Datasets: stored inputs with scaled sampling.
+
+A dataset names data resident on the CSD's flash.  At full scale it is
+*never materialised* — the simulator only needs its size — but the
+sampling phase materialises real NumPy payloads at the paper's scaling
+factors (2^-10 … 2^-7) by calling the dataset's ``builder``.
+
+The builder receives the sample record count and the full record count,
+so it can model **sampling bias**: ActivePy's heuristic takes a prefix
+of the stored records, and for skewed data (the sparse matrices behind
+PageRank/SparseMV) a prefix is not statistically representative.  That
+bias is the paper's explanation for the CSR volume misprediction (§V),
+and it emerges here from real data rather than an injected error term.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from ..errors import DatasetError
+
+#: Builders produce the real payload for a sample: (n_sample, n_full) -> arrays.
+PayloadBuilder = Callable[[int, int], Dict[str, Any]]
+
+#: Hard cap on materialised sample payloads; full-scale datasets are
+#: simulated, never built.
+_MAX_MATERIALISED_RECORDS = 50_000_000
+
+
+class Dataset:
+    """A named, sized, sampleable stored input.
+
+    Parameters
+    ----------
+    name:
+        Identifier, also used as the flash-resident dataset name.
+    n_records:
+        Record count at this dataset's scale.
+    record_bytes:
+        Average stored bytes per record; ``raw_bytes`` is the product.
+    builder:
+        Callable materialising real arrays for ``n`` records out of a
+        full population of ``full_records``.
+    full_records:
+        Population size this dataset was sampled from; equals
+        ``n_records`` for an unsampled dataset.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n_records: int,
+        record_bytes: float,
+        builder: PayloadBuilder,
+        full_records: Optional[int] = None,
+    ) -> None:
+        if n_records <= 0:
+            raise DatasetError(f"dataset {name!r} needs positive n_records")
+        if record_bytes <= 0:
+            raise DatasetError(f"dataset {name!r} needs positive record_bytes")
+        self.name = name
+        self.n_records = int(n_records)
+        self.record_bytes = float(record_bytes)
+        self.builder = builder
+        self.full_records = int(full_records) if full_records is not None else int(n_records)
+        if self.full_records < self.n_records:
+            raise DatasetError(
+                f"dataset {name!r}: full_records ({self.full_records}) cannot be "
+                f"smaller than n_records ({self.n_records})"
+            )
+        self._payload: Optional[Dict[str, Any]] = None
+
+    # --- size -----------------------------------------------------------
+
+    @property
+    def raw_bytes(self) -> float:
+        """Stored size of this dataset at its scale."""
+        return self.n_records * self.record_bytes
+
+    @property
+    def scale_fraction(self) -> float:
+        """This dataset's size relative to the full population."""
+        return self.n_records / self.full_records
+
+    @property
+    def is_sample(self) -> bool:
+        return self.n_records < self.full_records
+
+    # --- sampling -----------------------------------------------------------
+
+    def sample(self, factor: float) -> "Dataset":
+        """Create a scaled-down sample (paper §III-A).
+
+        ``factor`` is the paper's scaling factor F; the sample holds the
+        first ``round(full_records * factor)`` records of the stored
+        population (a heuristic prefix selection).
+        """
+        if not 0 < factor < 1:
+            raise DatasetError(f"sampling factor must lie in (0, 1), got {factor}")
+        n_sample = max(1, round(self.full_records * factor))
+        if n_sample >= self.n_records:
+            raise DatasetError(
+                f"sample of {n_sample} records is not smaller than the "
+                f"dataset's {self.n_records} records"
+            )
+        return Dataset(
+            name=self.name,
+            n_records=n_sample,
+            record_bytes=self.record_bytes,
+            builder=self.builder,
+            full_records=self.full_records,
+        )
+
+    # --- materialisation ----------------------------------------------------
+
+    @property
+    def payload(self) -> Dict[str, Any]:
+        """Real arrays for this dataset, built lazily and cached."""
+        if self._payload is None:
+            if self.n_records > _MAX_MATERIALISED_RECORDS:
+                raise DatasetError(
+                    f"refusing to materialise {self.n_records} records of "
+                    f"{self.name!r}; only samples are ever built for real"
+                )
+            self._payload = self.builder(self.n_records, self.full_records)
+            if not isinstance(self._payload, dict):
+                raise DatasetError(
+                    f"builder for {self.name!r} must return a dict of arrays"
+                )
+        return self._payload
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(name={self.name!r}, n_records={self.n_records}, "
+            f"raw_bytes={self.raw_bytes:.3g})"
+        )

@@ -1,0 +1,155 @@
+"""Programs and statements.
+
+A :class:`Statement` models one line of an unannotated Python program —
+the paper's unit of offload.  It carries two faces:
+
+* a **functional face**: ``kernel``, a real NumPy implementation that
+  transforms a payload dict.  The sampling phase executes it on scaled
+  sample inputs, and tests/examples execute whole programs for real.
+* a **cost face**: ground-truth callables mapping the executed record
+  count ``n`` to instruction count, output bytes, and bytes streamed
+  from storage.  *Only the simulator reads these.*  The ActivePy
+  runtime must work from profiler observations alone; the firewall is
+  enforced by the sampling/planning modules taking observation objects,
+  never statements' cost callables.
+
+Loops in the source program fold into their statement: a line inside a
+``for`` costs its per-iteration work times the trip count, and its
+``chunks`` attribute is the number of dynamic instances, which is the
+granularity at which the executor posts status updates and can break
+for migration ("at the end of the currently executing line", §III-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from ..errors import ProgramError
+
+#: Cost callables map executed record count -> value.
+CostFn = Callable[[float], float]
+#: Kernels transform the payload dict (real data at sample scale).
+Kernel = Callable[[Dict[str, Any]], Dict[str, Any]]
+
+
+def constant(value: float) -> CostFn:
+    """Cost that does not depend on the input size (e.g. a tiny result)."""
+    return lambda n: float(value)
+
+
+def per_record(amount: float) -> CostFn:
+    """Cost proportional to the record count: ``amount * n``."""
+    return lambda n: float(amount) * n
+
+
+def linear(slope: float, intercept: float = 0.0) -> CostFn:
+    """Affine cost ``slope * n + intercept``."""
+    return lambda n: float(slope) * n + float(intercept)
+
+
+@dataclass
+class Statement:
+    """One Python line: a single-entry-single-exit code region.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in plans and reports.
+    kernel:
+        Real implementation run on sample payloads.
+    instructions:
+        Ground-truth machine instructions retired when executing this
+        line over ``n`` records (all dynamic instances included).
+    output_bytes:
+        Ground-truth bytes of the value this line passes to the next
+        line at scale ``n``.
+    storage_bytes:
+        Bytes this line streams from stored data at scale ``n`` (zero
+        for lines that only consume their predecessor's output).
+    chunks:
+        Number of dynamic instances (loop iterations / stream blocks);
+        the executor can observe, update status, and migrate between
+        chunks.
+    """
+
+    name: str
+    kernel: Kernel
+    instructions: CostFn
+    output_bytes: CostFn
+    storage_bytes: CostFn = field(default_factory=lambda: constant(0.0))
+    chunks: int = 32
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ProgramError("statement needs a non-empty name")
+        if self.chunks < 1:
+            raise ProgramError(f"statement {self.name!r} needs chunks >= 1")
+
+    def reads_storage(self, n: float = 1024.0) -> bool:
+        """Whether this line accesses stored data (probed at a nominal n)."""
+        return self.storage_bytes(n) > 0
+
+    def __repr__(self) -> str:
+        return f"Statement(name={self.name!r}, chunks={self.chunks})"
+
+
+class Program:
+    """An ordered sequence of statements over one dataset.
+
+    The value flow is a chain: statement ``i`` consumes the output of
+    statement ``i-1`` (the first statement consumes nothing from
+    memory; whatever it needs it streams from storage).  This matches
+    the paper's observation that ISP cannot exploit arbitrary dataflow —
+    every host/CSD boundary in the chain pays a transfer.
+    """
+
+    def __init__(self, name: str, statements: Sequence[Statement]) -> None:
+        if not statements:
+            raise ProgramError(f"program {name!r} needs at least one statement")
+        names = [s.name for s in statements]
+        if len(set(names)) != len(names):
+            raise ProgramError(f"program {name!r} has duplicate statement names")
+        self.name = name
+        self.statements: tuple = tuple(statements)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    def __iter__(self):
+        return iter(self.statements)
+
+    def __getitem__(self, index: int) -> Statement:
+        return self.statements[index]
+
+    def index_of(self, name: str) -> int:
+        for i, statement in enumerate(self.statements):
+            if statement.name == name:
+                return i
+        raise ProgramError(f"program {self.name!r} has no statement named {name!r}")
+
+    def input_bytes(self, index: int, n: float) -> float:
+        """Ground-truth memory input of statement ``index`` at scale n."""
+        if index == 0:
+            return 0.0
+        return self.statements[index - 1].output_bytes(n)
+
+    def run_kernels(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Execute every kernel in order on a real payload.
+
+        This is the purely functional path (no simulation): used by
+        tests and examples to check that programs compute correct
+        results.
+        """
+        data = payload
+        for statement in self.statements:
+            data = statement.kernel(data)
+            if not isinstance(data, dict):
+                raise ProgramError(
+                    f"kernel of {statement.name!r} must return a dict, "
+                    f"got {type(data).__name__}"
+                )
+        return data
+
+    def __repr__(self) -> str:
+        return f"Program(name={self.name!r}, lines={len(self.statements)})"

@@ -1,0 +1,103 @@
+"""Single shared address space spanning host and device memory."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import AddressError
+from .allocator import Allocation, FreeListAllocator
+
+
+@dataclass
+class MemoryRegion:
+    """A contiguous window of the shared address space.
+
+    ``location`` names the physical home of the bytes (``"host"`` or a
+    device name such as ``"csd"``); the near-consumer placement policy
+    keys on it.
+    """
+
+    name: str
+    base: int
+    size: int
+    location: str
+    allocator: FreeListAllocator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise AddressError(f"region {self.name!r} needs positive size")
+        if self.base < 0:
+            raise AddressError(f"region {self.name!r} needs non-negative base")
+        self.allocator = FreeListAllocator(self.base, self.size)
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+
+class SharedAddressSpace:
+    """Registry of non-overlapping regions with address translation.
+
+    The host program sees one flat space; translation tells the runtime
+    which physical home an address falls in, which drives transfer-cost
+    accounting (an access to a remote region crosses the interconnect).
+    """
+
+    def __init__(self) -> None:
+        self._regions: list[MemoryRegion] = []
+
+    @property
+    def regions(self) -> tuple[MemoryRegion, ...]:
+        return tuple(self._regions)
+
+    def map_region(self, name: str, size: int, location: str) -> MemoryRegion:
+        """Map a new region after all existing ones.
+
+        Regions are packed contiguously; the next base is the previous
+        region's end, so the space never overlaps by construction.
+        """
+        if any(region.name == name for region in self._regions):
+            raise AddressError(f"region name {name!r} already mapped")
+        base = self._regions[-1].end if self._regions else 0
+        region = MemoryRegion(name=name, base=base, size=size, location=location)
+        self._regions.append(region)
+        return region
+
+    def region_of(self, address: int) -> MemoryRegion:
+        """Translate an address to its containing region."""
+        for region in self._regions:
+            if region.contains(address):
+                return region
+        raise AddressError(f"address {address:#x} is not mapped")
+
+    def region_named(self, name: str) -> MemoryRegion:
+        for region in self._regions:
+            if region.name == name:
+                return region
+        raise AddressError(f"no region named {name!r}")
+
+    def regions_at(self, location: str) -> list[MemoryRegion]:
+        """All regions physically homed at ``location``."""
+        return [region for region in self._regions if region.location == location]
+
+    def allocate_at(self, location: str, size: int, alignment: int = 8) -> Allocation:
+        """Allocate ``size`` bytes in any region homed at ``location``."""
+        last_error: Optional[Exception] = None
+        for region in self.regions_at(location):
+            try:
+                return region.allocator.allocate(size, alignment)
+            except Exception as exc:  # try the next region at this location
+                last_error = exc
+        if last_error is not None:
+            raise AddressError(
+                f"no region at {location!r} can hold {size} bytes"
+            ) from last_error
+        raise AddressError(f"no region mapped at location {location!r}")
+
+    def free(self, allocation: Allocation) -> None:
+        region = self.region_of(allocation.address)
+        region.allocator.free(allocation)

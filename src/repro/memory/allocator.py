@@ -1,0 +1,116 @@
+"""First-fit free-list allocator with coalescing.
+
+One allocator manages one contiguous memory region (host DRAM or a BAR
+window over device DRAM).  It hands out :class:`Allocation` records and
+merges adjacent free ranges on release, so long-running ActivePy
+programs do not fragment device memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AllocationError
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A live allocation inside a region (addresses are absolute)."""
+
+    address: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.address + self.size
+
+
+def _align_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) // alignment * alignment
+
+
+class FreeListAllocator:
+    """Allocates from [base, base+capacity) using first-fit."""
+
+    def __init__(self, base: int, capacity: int) -> None:
+        if capacity <= 0:
+            raise AllocationError(f"capacity must be positive, got {capacity}")
+        if base < 0:
+            raise AllocationError(f"base must be non-negative, got {base}")
+        self.base = base
+        self.capacity = capacity
+        #: Sorted list of (start, size) free ranges.
+        self._free: list[tuple[int, int]] = [(base, capacity)]
+        self._live: dict[int, Allocation] = {}
+
+    # --- queries -----------------------------------------------------------
+
+    @property
+    def bytes_free(self) -> int:
+        return sum(size for _, size in self._free)
+
+    @property
+    def bytes_allocated(self) -> int:
+        return self.capacity - self.bytes_free
+
+    @property
+    def live_allocations(self) -> int:
+        return len(self._live)
+
+    def largest_free_block(self) -> int:
+        return max((size for _, size in self._free), default=0)
+
+    # --- operations -----------------------------------------------------------
+
+    def allocate(self, size: int, alignment: int = 8) -> Allocation:
+        """Reserve ``size`` bytes at the given power-of-two alignment."""
+        if size <= 0:
+            raise AllocationError(f"allocation size must be positive, got {size}")
+        if alignment <= 0 or alignment & (alignment - 1):
+            raise AllocationError(f"alignment must be a positive power of two, got {alignment}")
+        for index, (start, span) in enumerate(self._free):
+            aligned = _align_up(start, alignment)
+            padding = aligned - start
+            if span < padding + size:
+                continue
+            allocation = Allocation(address=aligned, size=size)
+            remaining_before = (start, padding) if padding else None
+            tail_start = aligned + size
+            tail_size = span - padding - size
+            remaining_after = (tail_start, tail_size) if tail_size else None
+            replacement = [r for r in (remaining_before, remaining_after) if r]
+            self._free[index:index + 1] = replacement
+            self._live[allocation.address] = allocation
+            return allocation
+        raise AllocationError(
+            f"out of memory: requested {size} bytes, "
+            f"largest free block is {self.largest_free_block()}"
+        )
+
+    def free(self, allocation: Allocation) -> None:
+        """Release an allocation and coalesce neighbouring free ranges."""
+        live = self._live.pop(allocation.address, None)
+        if live is None or live.size != allocation.size:
+            raise AllocationError(f"not a live allocation: {allocation}")
+        start, size = allocation.address, allocation.size
+        merged = []
+        inserted = False
+        for free_start, free_size in self._free:
+            if not inserted and free_start > start:
+                merged.append((start, size))
+                inserted = True
+            merged.append((free_start, free_size))
+        if not inserted:
+            merged.append((start, size))
+        # Coalesce adjacent ranges.
+        coalesced: list[tuple[int, int]] = []
+        for free_start, free_size in merged:
+            if coalesced and coalesced[-1][0] + coalesced[-1][1] == free_start:
+                prev_start, prev_size = coalesced.pop()
+                coalesced.append((prev_start, prev_size + free_size))
+            else:
+                coalesced.append((free_start, free_size))
+        self._free = coalesced
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.base + self.capacity

@@ -1,0 +1,127 @@
+"""Mutable memory objects shared across host and CSD code.
+
+The paper's copy-elimination optimisation (§III-C0c) places values
+exchanged between function calls in *mutable* memory so caller and
+callee share the same locations, and emits library results (e.g. NumPy
+arrays) directly into the destination buffer.  :class:`MutableBuffer`
+models such an object: it knows where it lives, can move between
+regions (with byte-accounting for the interconnect), and counts the
+redundant copies that call-by-reference avoided.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..errors import AddressError
+from .address_space import MemoryRegion, SharedAddressSpace
+from .allocator import Allocation
+
+
+class MutableBuffer:
+    """A named, placed, call-by-reference data object.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (usually the Python variable name).
+    nbytes:
+        Logical size of the object at full input scale.
+    space:
+        The shared address space to allocate in.
+    location:
+        Physical home to place the object at ("host" or device name).
+    payload:
+        Optional real data (a NumPy array at sample scale) carried for
+        functional execution in tests and examples.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        nbytes: int,
+        space: SharedAddressSpace,
+        location: str = "host",
+        payload: Any = None,
+    ) -> None:
+        if nbytes <= 0:
+            raise AddressError(f"buffer {name!r} needs positive size, got {nbytes}")
+        self.name = name
+        self.nbytes = int(nbytes)
+        self._space = space
+        self._allocation: Allocation = space.allocate_at(location, self.nbytes)
+        self.payload = payload
+        self.copies_avoided = 0
+        self.bytes_moved = 0
+        self.moves = 0
+
+    # --- placement -----------------------------------------------------------
+
+    @property
+    def address(self) -> int:
+        return self._allocation.address
+
+    @property
+    def region(self) -> MemoryRegion:
+        return self._space.region_of(self._allocation.address)
+
+    @property
+    def location(self) -> str:
+        """Physical home of the bytes right now."""
+        return self.region.location
+
+    def move_to(self, location: str) -> int:
+        """Relocate the object to another physical home.
+
+        Returns the number of bytes that crossed the interconnect
+        (zero when already resident).  The old allocation is released
+        after the copy, as real migration code would.
+        """
+        if self.location == location:
+            return 0
+        new_allocation = self._space.allocate_at(location, self.nbytes)
+        self._space.free(self._allocation)
+        self._allocation = new_allocation
+        self.bytes_moved += self.nbytes
+        self.moves += 1
+        return self.nbytes
+
+    # --- call-by-reference accounting -----------------------------------------
+
+    def share(self) -> "MutableBuffer":
+        """Pass this object by reference instead of copying it.
+
+        Returns ``self`` and records the copy that a boxed,
+        value-passing runtime would have made.
+        """
+        self.copies_avoided += 1
+        return self
+
+    def release(self) -> None:
+        """Free the underlying allocation (the object becomes invalid)."""
+        self._space.free(self._allocation)
+
+    def __repr__(self) -> str:
+        return (
+            f"MutableBuffer(name={self.name!r}, nbytes={self.nbytes}, "
+            f"location={self.location!r})"
+        )
+
+
+def place_near_consumer(
+    name: str,
+    nbytes: int,
+    space: SharedAddressSpace,
+    consumer_location: str,
+    payload: Optional[Any] = None,
+) -> MutableBuffer:
+    """Allocate a buffer at its consumer's location (the paper's policy).
+
+    Falls back to the host if the consumer's memory cannot hold it.
+    """
+    try:
+        return MutableBuffer(name, nbytes, space, location=consumer_location, payload=payload)
+    except AddressError:
+        if consumer_location == "host":
+            raise
+        return MutableBuffer(name, nbytes, space, location="host", payload=payload)

@@ -1,0 +1,70 @@
+"""The paper's reported numbers, as constants.
+
+Single source of truth for every figure the reproduction compares
+against; benchmarks and EXPERIMENTS.md reference these instead of
+scattering magic numbers.  Values quote the DAC'23 text verbatim (see
+the section markers).
+"""
+
+from __future__ import annotations
+
+from .units import GB
+
+#: §V / Fig. 4 — average speedup of programmer-directed static C ISP
+#: over the no-ISP C baseline.
+FIG4_STATIC_GEOMEAN = 1.33
+#: §V / Fig. 4 — average speedup of automatic ActivePy.
+FIG4_ACTIVEPY_GEOMEAN = 1.34
+#: §V — baseline end-to-end times span this range on the authors' box.
+BASELINE_SECONDS_MIN = 11.0   # TPC-H-6
+BASELINE_SECONDS_MAX = 73.0   # KMeans
+
+#: §II-B / Fig. 2 — the TPC-H trio's speedup with a dedicated CSE.
+FIG2_SPEEDUP_AT_FULL_AVAILABILITY = 1.25
+#: §II-B — "suffer from performance loss when the CSD has less than
+#: 60% computation time available".
+FIG2_LOSS_BELOW_AVAILABILITY = 0.60
+
+#: §V / Fig. 5 — migration gain over the no-migration ablation at 10%.
+FIG5_MIGRATION_GAIN_AT_10PCT = 2.82
+#: §V / Fig. 5 — ActivePy's average slowdown vs the no-ISP baseline
+#: after migrating (code regen + remote live-data access).
+FIG5_MIGRATED_SLOWDOWN = 0.08
+#: §V / Fig. 5 — loss without migration at 10% availability.
+FIG5_LOSS_WITHOUT_MIGRATION_AVG = 0.67
+FIG5_LOSS_WITHOUT_MIGRATION_MAX = 0.88
+
+#: §V — language-runtime overhead ladder over the C baseline.
+LADDER_PYTHON_OVERHEAD = 0.41
+LADDER_CYTHON_OVERHEAD = 0.20
+#: §V — compilation overhead the generated code pays once.
+LADDER_COMPILE_OVERHEAD_FRACTION = 0.01
+
+#: §V — data-volume prediction accuracy.
+PREDICTION_GEOMEAN_ERROR = 0.09
+PREDICTION_CSR_OVERESTIMATE_MAX = 2.41
+
+#: §III-A — sampling scaling factors (tiny/small/medium/large).
+SAMPLING_FACTORS = (2**-10, 2**-9, 2**-8, 2**-7)
+#: §V — "negligible overhead, typically 0.1 sec latency, of the
+#: sampling mechanisms and the code-generation phase".
+SAMPLING_PLUS_CODEGEN_SECONDS = 0.1
+
+#: §IV-A — platform parameters of the authors' prototype.
+PLATFORM_INTERNAL_BANDWIDTH = 9.0 * GB
+PLATFORM_NVME_BANDWIDTH = 5.0 * GB
+PLATFORM_CSE_CORES = 8
+PLATFORM_NAND_CAPACITY = 2000.0 * GB
+
+#: Table I — application input sizes in bytes.
+TABLE1_SIZES = {
+    "blackscholes": 9.1 * GB,
+    "kmeans": 5.3 * GB,
+    "lightgbm": 7.1 * GB,
+    "matrixmul": 6.0 * GB,
+    "mixedgemm": 9.4 * GB,
+    "pagerank": 7.7 * GB,
+    "tpch_q1": 6.9 * GB,
+    "tpch_q6": 6.9 * GB,
+    "tpch_q14": 7.1 * GB,
+}

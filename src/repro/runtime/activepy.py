@@ -1,0 +1,180 @@
+"""The ActivePy facade: the framework's public entry point.
+
+A user hands over an unannotated program and its dataset; ActivePy does
+the rest (paper Figure 3): sampling, curve fitting, Equation-1-driven
+planning, code generation for both units, and monitored execution with
+dynamic migration.  The report returned exposes every intermediate so
+experiments and tests can audit each stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..analysis.timeline import ExecutionTimeline
+from ..config import DEFAULT_CONFIG, SystemConfig
+from ..hw.topology import Machine, build_machine
+from ..lang.dataset import Dataset
+from ..lang.program import Program
+from .codegen import CodeGenerator, CompiledProgram, ExecutionMode
+from .estimator import LineEstimate, build_estimates
+from .executor import ExecutionResult, PlanExecutor, ProgressTrigger
+from .planner import Plan, assign_csd_code
+from .sampling import SamplingPhase, SamplingReport
+
+
+@dataclass
+class ActivePyReport:
+    """Everything one ActivePy run produced, stage by stage."""
+
+    program_name: str
+    sampling: SamplingReport
+    estimates: List[LineEstimate]
+    plan: Plan
+    compiled: CompiledProgram
+    result: ExecutionResult
+    #: End-to-end simulated seconds: sampling + compile + execution.
+    total_seconds: float
+    #: Span trace of the run (None unless requested).
+    timeline: Optional[ExecutionTimeline] = None
+
+    @property
+    def execution_seconds(self) -> float:
+        return self.result.total_seconds
+
+    @property
+    def overhead_seconds(self) -> float:
+        """Sampling + code-generation cost (the paper's ~0.1 s claim)."""
+        return self.total_seconds - self.result.total_seconds
+
+
+class ActivePy:
+    """The runtime framework.
+
+    Parameters
+    ----------
+    config:
+        Platform parameters; defaults to the paper-calibrated platform.
+    migration_enabled:
+        The full-fledged framework migrates; the paper's "ActivePy w/o
+        migration" ablation sets this to False.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig = DEFAULT_CONFIG,
+        migration_enabled: bool = True,
+    ) -> None:
+        self.config = config
+        self.migration_enabled = migration_enabled
+        self._sampling_phase = SamplingPhase(config)
+        self._codegen = CodeGenerator(config)
+
+    def run(
+        self,
+        program: Program,
+        dataset: Dataset,
+        machine: Optional[Machine] = None,
+        progress_triggers: Sequence[ProgressTrigger] = (),
+        trace: bool = False,
+    ) -> ActivePyReport:
+        """Run an unannotated program end to end.
+
+        ``progress_triggers`` is experiment machinery: throttle the CSE
+        when the offloaded work crosses a progress fraction, as the
+        paper does for its migration study (Figure 5).  With ``trace``
+        the report carries an :class:`ExecutionTimeline` of every span.
+        """
+        if machine is None:
+            machine = build_machine(self.config)
+        device = _resolve_device(machine, dataset)
+
+        timeline = ExecutionTimeline() if trace else None
+        start = machine.now
+
+        # 1. Sampling phase: run the program on scaled sample inputs.
+        sampling = self._sampling_phase.run(program, dataset)
+        machine.simulator.clock.advance(sampling.sampling_seconds)
+        if timeline is not None:
+            timeline.record(start, machine.now, "host", "sampling", "sampling-phase")
+
+        # 2. Extrapolate to the raw input; calibrate C from the device's
+        #    performance counters.
+        estimates = build_estimates(
+            sampling,
+            full_records=dataset.n_records,
+            config=self.config,
+            device_counters=device.cse.read_performance_counters(),
+        )
+
+        # 3. Algorithm 1: pick the CSD code regions.
+        plan = assign_csd_code(estimates, self.config)
+
+        # 4. Generate machine code for both units and distribute it.
+        compile_start = machine.now
+        compiled = self._codegen.generate(
+            machine, program, plan, mode=ExecutionMode.ACTIVEPY, device=device
+        )
+        if timeline is not None:
+            timeline.record(compile_start, machine.now, "host", "compile", "codegen")
+
+        # 5. Execute with runtime monitoring (and migration, if enabled).
+        executor = PlanExecutor(
+            machine, migration_enabled=self.migration_enabled,
+            timeline=timeline, device=device,
+        )
+        result = executor.execute(
+            compiled, n_records=dataset.n_records, progress_triggers=progress_triggers
+        )
+
+        return ActivePyReport(
+            program_name=program.name,
+            sampling=sampling,
+            estimates=estimates,
+            plan=plan,
+            compiled=compiled,
+            result=result,
+            total_seconds=machine.now - start,
+            timeline=timeline,
+        )
+
+
+def _resolve_device(machine: Machine, dataset: Dataset):
+    """The CSD a program offloads to: the one holding its dataset.
+
+    Stores the dataset on the primary device if no attached CSD holds
+    it yet.
+    """
+    for device in machine.csds:
+        if device.holds_dataset(dataset.name):
+            return device
+    machine.csd.store_dataset(dataset.name, dataset.raw_bytes)
+    return machine.csd
+
+
+def run_plan(
+    machine: Machine,
+    program: Program,
+    plan: Plan,
+    dataset: Dataset,
+    mode: ExecutionMode,
+    migration_enabled: bool = False,
+    progress_triggers: Sequence[ProgressTrigger] = (),
+    config: Optional[SystemConfig] = None,
+) -> ExecutionResult:
+    """Compile and execute an externally supplied plan.
+
+    Shared helper for the baselines (which bring their own plans) and
+    ablations; charges compile cost per the mode and runs the executor
+    against the device holding the dataset.
+    """
+    device = _resolve_device(machine, dataset)
+    generator = CodeGenerator(config if config is not None else machine.config)
+    compiled = generator.generate(machine, program, plan, mode=mode, device=device)
+    executor = PlanExecutor(
+        machine, migration_enabled=migration_enabled, device=device
+    )
+    return executor.execute(
+        compiled, n_records=dataset.n_records, progress_triggers=progress_triggers
+    )

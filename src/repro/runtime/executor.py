@@ -1,0 +1,525 @@
+"""Plan execution on the simulated machine.
+
+The executor is the simulator-side counterpart of the ActivePy runtime:
+it charges *ground-truth* costs (instruction counts, byte volumes) to
+the machine — compute on the assigned unit, stored-data streaming over
+the appropriate path, inter-unit value transfers over the NVMe link —
+while the runtime's decisions (monitoring, re-estimation, migration)
+consume only what a real host could observe: status updates carrying
+IPC, and the plan's own fitted estimates.
+
+Each line executes in ``chunks`` pieces (its dynamic instances).  After
+every CSD chunk the device posts a status update, the simulator fires
+any due background events (availability changes, GC), and the monitor
+gets a chance to trigger re-estimation and migration.  Migration breaks
+at a chunk boundary — "the end of the currently executing line" in the
+paper's terms — saves locals, regenerates host code, and finishes the
+remaining work on the host with live device-resident data accessed over
+the remote BAR path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.timeline import ExecutionTimeline
+from ..errors import MigrationError, ProgramError
+from ..hw.topology import Machine
+from ..lang.program import Program, Statement
+from .codegen import CompiledProgram
+from .dispatch import CallQueueDispatcher, StatusUpdate
+from .estimator import LineEstimate
+from .migration import MigrationEvent, migration_cost_estimate, perform_migration
+from .monitor import RuntimeMonitor
+from .planner import CSD, HOST
+
+
+@dataclass
+class LineTiming:
+    """Where one line actually ran and how long it took."""
+
+    index: int
+    name: str
+    planned_location: str
+    actual_location: str
+    seconds: float
+    migrated_mid_line: bool = False
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one end-to-end plan execution."""
+
+    program_name: str
+    total_seconds: float
+    line_timings: List[LineTiming]
+    migrations: List[MigrationEvent] = field(default_factory=list)
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    d2h_bytes: float = 0.0
+    remote_access_bytes: float = 0.0
+    status_updates: int = 0
+
+    @property
+    def migrated(self) -> bool:
+        return bool(self.migrations)
+
+    def seconds_for(self, name: str) -> float:
+        for timing in self.line_timings:
+            if timing.name == name:
+                return timing.seconds
+        raise KeyError(f"no line named {name!r}")
+
+
+#: Experiment hook: throttle the CSE when offloaded work crosses a
+#: progress fraction — the paper stresses the device "right after each
+#: application's ISP tasks make 50% of their progress".
+ProgressTrigger = Tuple[float, float]  # (csd-progress fraction, new availability)
+
+
+class PlanExecutor:
+    """Runs a compiled program under a plan, with optional migration."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        migration_enabled: bool = True,
+        timeline: Optional[ExecutionTimeline] = None,
+        device=None,
+    ) -> None:
+        self.machine = machine
+        self.migration_enabled = migration_enabled
+        self.device = device if device is not None else machine.csd
+        self.dispatcher = CallQueueDispatcher(machine, device=self.device)
+        self.timeline = timeline
+
+    def _trace(self, start: float, resource: str, kind: str, label: str) -> None:
+        if self.timeline is not None:
+            self.timeline.record(start, self.machine.now, resource, kind, label)
+
+    # --- public entry ----------------------------------------------------
+
+    def execute(
+        self,
+        compiled: CompiledProgram,
+        n_records: int,
+        progress_triggers: Sequence[ProgressTrigger] = (),
+    ) -> ExecutionResult:
+        if n_records <= 0:
+            raise ProgramError(f"n_records must be positive, got {n_records}")
+        machine = self.machine
+        program = compiled.program
+        plan = compiled.plan
+        estimates = self._estimates_by_index(plan.estimates)
+        if self.migration_enabled and not estimates:
+            raise MigrationError(
+                "migration needs the plan's line estimates for re-estimation"
+            )
+
+        n = float(n_records)
+        multiplier = compiled.multiplier
+        started = machine.now
+        d2h_before = machine.d2h_link.bytes_transferred
+        remote_before = machine.remote_access_link.bytes_transferred
+
+        total_csd_instr = self._total_csd_instructions(program, plan, n)
+        triggers = sorted(progress_triggers)
+        trigger_cursor = 0
+        csd_instr_done = 0.0
+
+        timings: List[LineTiming] = []
+        migrations: List[MigrationEvent] = []
+        value_location = HOST
+        migrated = False  # once true, every remaining line runs on the host
+        last_migration_at = -float("inf")
+
+        for index, statement in enumerate(program):
+            planned = plan.assignments[index]
+            location = HOST if migrated else planned
+            cooled_down = (
+                machine.now - last_migration_at
+                >= machine.config.readmission_cooldown_s
+            )
+            if (
+                migrated and planned == CSD
+                and cooled_down
+                and self._device_recovered()
+                and self._readmission_profitable(estimates.get(index))
+            ):
+                # Re-admission (extension beyond the paper): the
+                # device's status page reports a healthy rate again and
+                # the line's Equation-1 economics still favour it, so
+                # it returns to its planned home.
+                location = CSD
+                migrated = False
+            line_start = machine.now
+            d_in = program.input_bytes(index, n)
+            storage_total = statement.storage_bytes(n)
+            instr_total = statement.instructions(n) * multiplier
+            chunks = statement.chunks
+
+            # Ship the input value if it lives on the other unit.  A
+            # post-migration host line whose input was produced on the
+            # CSD reads it remotely instead (live data stays put).
+            input_remote = False
+            if location != value_location and d_in > 0:
+                if migrated and value_location == CSD:
+                    input_remote = True
+                else:
+                    transfer_start = machine.now
+                    self._move(machine.d2h_link, d_in, multiplier)
+                    self._trace(transfer_start, "d2h", "transfer",
+                                f"{statement.name}.input")
+
+            if location == CSD:
+                command_id = self.dispatcher.invoke(
+                    statement.name,
+                    compiled.device_binaries.get(statement.name),
+                )
+                monitor = RuntimeMonitor(
+                    config=machine.config,
+                    expected_ipc=self.device.cse.expected_ipc(),
+                )
+                line_migrated = False
+                chunk = 0
+                while chunk < chunks:
+                    self._run_chunk_on_csd(
+                        statement, instr_total, storage_total, chunks, multiplier
+                    )
+                    csd_instr_done += instr_total / chunks
+                    chunk += 1
+                    machine.simulator.fire_due_events()
+                    trigger_cursor = self._apply_progress_triggers(
+                        triggers, trigger_cursor, csd_instr_done, total_csd_instr
+                    )
+                    update = self._post_status(statement, chunk, chunks)
+                    decision = monitor.observe(update)
+                    if not (self.migration_enabled and decision.reestimate):
+                        continue
+                    event = self._consider_migration(
+                        estimates=estimates,
+                        plan=plan,
+                        index=index,
+                        statement=statement,
+                        chunk=chunk,
+                        chunks=chunks,
+                        inferred_availability=decision.inferred_availability,
+                        reason=decision.reason,
+                        forced=update.high_priority_pending,
+                    )
+                    if event is None:
+                        continue
+                    migrations.append(event)
+                    last_migration_at = machine.now
+                    if update.high_priority_pending:
+                        self.device.cse.acknowledge_high_priority()
+                    # Finish this line's remaining chunks on the host,
+                    # reading the unconsumed input remotely.
+                    self._finish_line_on_host(
+                        statement,
+                        instr_total,
+                        storage_total,
+                        d_in,
+                        chunks,
+                        first_chunk=chunk,
+                        input_on_device=d_in > 0,
+                        multiplier=multiplier,
+                    )
+                    migrated = True
+                    line_migrated = True
+                    location = HOST
+                    break
+                self.dispatcher.complete(command_id)
+                self.dispatcher.reap_completion(command_id)
+                value_location = HOST if line_migrated else CSD
+                self._trace(
+                    line_start, CSD if not line_migrated else f"{CSD}+host",
+                    "compute", statement.name,
+                )
+                timings.append(
+                    LineTiming(
+                        index=index,
+                        name=statement.name,
+                        planned_location=planned,
+                        actual_location=location,
+                        seconds=machine.now - line_start,
+                        migrated_mid_line=line_migrated,
+                    )
+                )
+            else:
+                self._run_line_on_host(
+                    statement, instr_total, storage_total, d_in,
+                    input_remote=input_remote, multiplier=multiplier,
+                )
+                value_location = HOST
+                self._trace(line_start, HOST, "compute", statement.name)
+                timings.append(
+                    LineTiming(
+                        index=index,
+                        name=statement.name,
+                        planned_location=planned,
+                        actual_location=HOST,
+                        seconds=machine.now - line_start,
+                    )
+                )
+
+        # The program's final value must reach the host.
+        last = program[len(program) - 1]
+        if value_location == CSD:
+            transfer_start = machine.now
+            self._move(machine.d2h_link, last.output_bytes(n), multiplier)
+            self._trace(transfer_start, "d2h", "transfer", "final.output")
+
+        finished = machine.now
+        return ExecutionResult(
+            program_name=program.name,
+            total_seconds=finished - started,
+            line_timings=timings,
+            migrations=migrations,
+            started_at=started,
+            finished_at=finished,
+            d2h_bytes=machine.d2h_link.bytes_transferred - d2h_before,
+            remote_access_bytes=(
+                machine.remote_access_link.bytes_transferred - remote_before
+            ),
+            status_updates=self.dispatcher.status_updates,
+        )
+
+    # --- chunk mechanics ----------------------------------------------------
+
+    def _move(self, link, nbytes: float, multiplier: float) -> None:
+        """Transfer data, with the runtime mode's data-path overhead.
+
+        Interpreted and Cython runtimes move data through boxed
+        buffers, so their I/O path stretches by the same factor as
+        their compute; ActivePy's copy elimination is what removes it.
+        """
+        elapsed = link.transfer(nbytes)
+        if multiplier > 1.0 and elapsed > 0:
+            self.machine.simulator.clock.advance(elapsed * (multiplier - 1.0))
+
+    def _chunk(self, unit, moves, instructions: float, multiplier: float) -> None:
+        """One chunk of data movement + compute on ``unit``.
+
+        ``moves`` is a list of (link, nbytes) pairs.  Sequential by
+        default; with ``config.overlap_io_compute`` the chunk costs
+        max(io, compute), modelling a double-buffered engine.
+        """
+        machine = self.machine
+        if not machine.config.overlap_io_compute:
+            for link, nbytes in moves:
+                if nbytes > 0:
+                    self._move(link, nbytes, multiplier)
+            unit.execute(instructions)
+            return
+        io_seconds = sum(
+            link.transfer_time(nbytes) * multiplier
+            for link, nbytes in moves if nbytes > 0
+        )
+        compute_seconds = unit.execution_time(instructions)
+        elapsed = max(io_seconds, compute_seconds)
+        machine.simulator.clock.advance(elapsed)
+        for link, nbytes in moves:
+            if nbytes > 0:
+                link.account(nbytes)
+        unit.charge(instructions, elapsed)
+
+    def _run_chunk_on_csd(
+        self,
+        statement: Statement,
+        instr_total: float,
+        storage_total: float,
+        chunks: int,
+        multiplier: float,
+    ) -> None:
+        self._chunk(
+            self.device.cse,
+            [(self.device.internal_link, storage_total / chunks)],
+            instr_total / chunks,
+            multiplier,
+        )
+
+    def _run_line_on_host(
+        self,
+        statement: Statement,
+        instr_total: float,
+        storage_total: float,
+        d_in: float,
+        input_remote: bool,
+        multiplier: float,
+    ) -> None:
+        machine = self.machine
+        chunks = statement.chunks
+        for _ in range(chunks):
+            moves = [(machine.host_storage_link, storage_total / chunks)]
+            if input_remote:
+                moves.append((machine.remote_access_link, d_in / chunks))
+            self._chunk(machine.host, moves, instr_total / chunks, multiplier)
+            machine.simulator.fire_due_events()
+
+    def _finish_line_on_host(
+        self,
+        statement: Statement,
+        instr_total: float,
+        storage_total: float,
+        d_in: float,
+        chunks: int,
+        first_chunk: int,
+        input_on_device: bool,
+        multiplier: float,
+    ) -> None:
+        """Run chunks ``first_chunk..chunks`` on the host post-migration."""
+        machine = self.machine
+        for _ in range(first_chunk, chunks):
+            moves = [(machine.host_storage_link, storage_total / chunks)]
+            if input_on_device:
+                moves.append((machine.remote_access_link, d_in / chunks))
+            self._chunk(machine.host, moves, instr_total / chunks, multiplier)
+            machine.simulator.fire_due_events()
+
+    def _device_recovered(self) -> bool:
+        """Poll the device's self-reported rate for re-admission.
+
+        Same observability channel as the status updates: the host
+        reads the execution rate the device publishes, never the
+        simulator's availability knob directly.
+        """
+        config = self.machine.config
+        if not config.readmission_enabled:
+            return False
+        cse = self.device.cse
+        reported_rate = cse.expected_ipc() * cse.availability
+        return reported_rate >= config.readmission_threshold * cse.expected_ipc()
+
+    def _readmission_profitable(self, estimate: Optional[LineEstimate]) -> bool:
+        """Equation-1 check for returning one line to the device.
+
+        The line's input now lives on the host (the previous line ran
+        there post-migration), so the move pays both transfers.
+        """
+        if estimate is None:
+            return False
+        bw = self.machine.config.bw_d2h
+        delta = (
+            -estimate.ct_host + estimate.ct_device
+            + estimate.d_in / bw + estimate.d_out / bw
+        )
+        return delta < 0
+
+    def _post_status(self, statement: Statement, chunk: int, chunks: int) -> StatusUpdate:
+        """Device side: report this line's execution rate (paper §III-C0b).
+
+        The status-update code patched into the CSD binary measures its
+        own recent rate; under contention the foreground task retires
+        fewer instructions per wall cycle, so the reported IPC is the
+        expected IPC scaled by the cycles the engine actually got.
+        """
+        cse = self.device.cse
+        observed_ipc = cse.expected_ipc() * cse.availability
+        update = StatusUpdate(
+            line_name=statement.name,
+            chunk=chunk,
+            ipc=observed_ipc,
+            progress=chunk / chunks,
+            high_priority_pending=cse.high_priority_pending,
+        )
+        self.dispatcher.post_status(update)
+        self.dispatcher.drain_status()
+        return update
+
+    # --- migration decision ----------------------------------------------------
+
+    def _consider_migration(
+        self,
+        estimates: Dict[int, LineEstimate],
+        plan,
+        index: int,
+        statement: Statement,
+        chunk: int,
+        chunks: int,
+        inferred_availability: float,
+        reason: str,
+        forced: bool,
+    ) -> Optional[MigrationEvent]:
+        """Re-estimate and migrate if the host now wins (paper §III-D)."""
+        machine = self.machine
+        config = machine.config
+        est = estimates.get(index)
+        if est is None:
+            return None
+        remaining_frac = (chunks - chunk) / chunks
+        later_csd = [
+            estimates[i]
+            for i in range(index + 1, len(plan.assignments))
+            if plan.assignments[i] == CSD and i in estimates
+        ]
+        c_factor = config.device_speed_ratio
+
+        device_compute = est.compute_host * c_factor * remaining_frac
+        device_access = est.d_storage * remaining_frac / config.bw_internal
+        for later in later_csd:
+            device_compute += later.compute_host * c_factor
+            device_access += later.d_storage / config.bw_internal
+        availability = max(1e-3, min(1.0, inferred_availability))
+        device_projection = device_compute / availability + device_access
+        # The region's final output still crosses back to the host.
+        tail = later_csd[-1] if later_csd else est
+        device_projection += tail.d_out / config.bw_d2h
+
+        host_compute = est.compute_host * remaining_frac + sum(
+            later.compute_host for later in later_csd
+        )
+        storage_bytes = est.d_storage * remaining_frac + sum(
+            later.d_storage for later in later_csd
+        )
+        live_input = est.d_in * remaining_frac
+        host_projection = migration_cost_estimate(
+            config,
+            remaining_host_compute_s=host_compute,
+            remaining_storage_bytes=storage_bytes,
+            live_input_bytes=live_input,
+        )
+
+        if not forced and host_projection >= device_projection:
+            return None
+        event = perform_migration(
+            machine=machine,
+            line_index=index,
+            line_name=statement.name,
+            chunk=chunk,
+            reason=reason if not forced else f"high-priority request; {reason}",
+            projected_device_seconds=device_projection,
+            projected_host_seconds=host_projection,
+        )
+        self._trace(
+            event.sim_time - event.cost_seconds, HOST, "migration",
+            f"migrate.{statement.name}",
+        )
+        return event
+
+    # --- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _estimates_by_index(estimates: Sequence[LineEstimate]) -> Dict[int, LineEstimate]:
+        return {e.index: e for e in estimates}
+
+    @staticmethod
+    def _total_csd_instructions(program: Program, plan, n: float) -> float:
+        return sum(
+            statement.instructions(n)
+            for statement, where in zip(program, plan.assignments)
+            if where == CSD
+        ) or 1.0
+
+    def _apply_progress_triggers(
+        self,
+        triggers: Sequence[ProgressTrigger],
+        cursor: int,
+        done_instr: float,
+        total_instr: float,
+    ) -> int:
+        while cursor < len(triggers) and done_instr / total_instr >= triggers[cursor][0]:
+            self.device.cse.set_availability(triggers[cursor][1])
+            cursor += 1
+        return cursor

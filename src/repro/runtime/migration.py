@@ -1,0 +1,99 @@
+"""Task migration (paper §III-D).
+
+When the re-estimated CSD time exceeds the cost of finishing on the
+host, ActivePy breaks the CSD code at the end of the currently
+executing Python line, saves the local variables into the shared memory
+space, regenerates machine code for the host, and resumes at the
+breakpoint.  Thanks to the single address space, the large intermediate
+values do *not* move: they stay in device DRAM and the host accesses
+them remotely over the BAR mapping — that remote access, plus the code
+regeneration, is the ~8% overhead the paper measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SystemConfig
+from ..errors import MigrationError
+from ..hw.topology import Machine
+
+#: Modelled size of a task's scalar locals (loop indices, accumulators).
+_LOCALS_BYTES = 64 * 1024
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """A completed host-ward migration, for reports and tests."""
+
+    line_index: int
+    line_name: str
+    #: Chunk boundary (dynamic line instance) the task broke at.
+    chunk: int
+    sim_time: float
+    reason: str
+    #: Total simulated seconds the migration itself consumed.
+    cost_seconds: float
+    #: Remaining-CSD-time estimate that justified the move.
+    projected_device_seconds: float
+    #: Host-side estimate (including this cost) that won.
+    projected_host_seconds: float
+
+
+def migration_cost_estimate(
+    config: SystemConfig,
+    remaining_host_compute_s: float,
+    remaining_storage_bytes: float,
+    live_input_bytes: float,
+) -> float:
+    """Predict the total cost of migrating and finishing on the host.
+
+    Components: code regeneration, checkpointing locals, the remaining
+    compute at host speed, the remaining stored data over the host's
+    normal storage path, and the live intermediate data re-read from
+    device DRAM over the (slower) remote-access path.
+    """
+    if remaining_host_compute_s < 0 or remaining_storage_bytes < 0 or live_input_bytes < 0:
+        raise MigrationError("remaining-work estimates must be non-negative")
+    return (
+        config.compile_overhead_s
+        + config.migration_state_cost_s
+        + _LOCALS_BYTES / config.bw_d2h
+        + remaining_host_compute_s
+        + remaining_storage_bytes / config.bw_host_storage
+        + live_input_bytes / config.bw_remote_access
+    )
+
+
+def perform_migration(
+    machine: Machine,
+    line_index: int,
+    line_name: str,
+    chunk: int,
+    reason: str,
+    projected_device_seconds: float,
+    projected_host_seconds: float,
+) -> MigrationEvent:
+    """Execute the mechanical part of a migration; charge the clock.
+
+    Regenerates host code (compile cost), saves locals through the
+    device-to-host link, and returns the event record.  The caller —
+    the executor — then switches the remaining work to the host and
+    routes live-data reads over the remote-access link.
+    """
+    start = machine.simulator.now
+    config = machine.config
+    machine.simulator.clock.advance(config.compile_overhead_s)
+    machine.simulator.clock.advance(config.migration_state_cost_s)
+    machine.d2h_link.transfer(_LOCALS_BYTES)
+    cost = machine.simulator.now - start
+    return MigrationEvent(
+        line_index=line_index,
+        line_name=line_name,
+        chunk=chunk,
+        sim_time=machine.simulator.now,
+        reason=reason,
+        cost_seconds=cost,
+        projected_device_seconds=projected_device_seconds,
+        projected_host_seconds=projected_host_seconds,
+    )

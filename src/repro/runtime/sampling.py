@@ -1,0 +1,128 @@
+"""The sampling phase (paper §III-A).
+
+ActivePy heuristically selects prefixes of the raw stored input at four
+exponentially growing scaling factors (tiny 2^-10, small 2^-9, medium
+2^-8, large 2^-7), runs the program on each sample under the line
+profiler, and aggregates per-line observation series that the curve
+fitter consumes.
+
+Sampling is not free: each sample run reads its (small) input and
+executes every kernel, and the phase's simulated cost is charged to the
+machine clock by the caller — this is the overhead the paper measures
+at "typically 0.1 sec".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..config import SystemConfig
+from ..errors import SamplingError
+from ..lang.dataset import Dataset
+from ..lang.program import Program
+from .fitting import FittedCurve, fit_curve
+from .profiler import LineProfiler, LineRecord
+
+
+@dataclass
+class SampleSeries:
+    """Observations for one line across all sample runs."""
+
+    index: int
+    name: str
+    n_values: List[int] = field(default_factory=list)
+    compute_seconds: List[float] = field(default_factory=list)
+    data_access_seconds: List[float] = field(default_factory=list)
+    input_bytes: List[float] = field(default_factory=list)
+    output_bytes: List[float] = field(default_factory=list)
+    storage_bytes: List[float] = field(default_factory=list)
+
+    def add(self, record: LineRecord) -> None:
+        self.n_values.append(record.n_records)
+        self.compute_seconds.append(record.compute_seconds)
+        self.data_access_seconds.append(record.data_access_seconds)
+        self.input_bytes.append(record.input_bytes)
+        self.output_bytes.append(record.output_bytes)
+        self.storage_bytes.append(record.storage_bytes)
+
+
+@dataclass
+class LineFits:
+    """Fitted curves for every per-line metric."""
+
+    index: int
+    name: str
+    compute: FittedCurve
+    data_access: FittedCurve
+    output_bytes: FittedCurve
+    storage_bytes: FittedCurve
+
+
+@dataclass
+class SamplingReport:
+    """Everything the sampling phase learned, plus what it cost."""
+
+    series: List[SampleSeries]
+    fits: List[LineFits]
+    #: Simulated seconds the sample runs consumed.
+    sampling_seconds: float
+    factors: tuple
+
+    def fit_for(self, name: str) -> LineFits:
+        for fit in self.fits:
+            if fit.name == name:
+                return fit
+        raise SamplingError(f"no fitted line named {name!r}")
+
+
+class SamplingPhase:
+    """Drives sample-input creation, profiling, and curve fitting."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.profiler = LineProfiler(config)
+
+    def run(self, program: Program, dataset: Dataset) -> SamplingReport:
+        """Profile the program at every scaling factor and fit curves."""
+        if dataset.is_sample:
+            raise SamplingError("sampling must start from the full dataset")
+        sizes = {
+            max(1, round(dataset.full_records * f))
+            for f in self.config.sampling_factors
+        }
+        if len(sizes) < len(self.config.sampling_factors):
+            raise SamplingError(
+                f"dataset {dataset.name!r} has too few records "
+                f"({dataset.full_records}) for the sampling factors to "
+                f"produce distinct sample sizes"
+            )
+        series: Dict[int, SampleSeries] = {
+            i: SampleSeries(index=i, name=s.name) for i, s in enumerate(program)
+        }
+        total_seconds = 0.0
+        for factor in self.config.sampling_factors:
+            sample = dataset.sample(factor)
+            records = self.profiler.profile(program, sample)
+            total_seconds += self.profiler.run_seconds(records)
+            for record in records:
+                series[record.index].add(record)
+
+        fits = [self._fit_line(s) for s in series.values()]
+        return SamplingReport(
+            series=list(series.values()),
+            fits=fits,
+            sampling_seconds=total_seconds,
+            factors=tuple(self.config.sampling_factors),
+        )
+
+    def _fit_line(self, s: SampleSeries) -> LineFits:
+        ns = [float(n) for n in s.n_values]
+        return LineFits(
+            index=s.index,
+            name=s.name,
+            compute=fit_curve(ns, s.compute_seconds),
+            data_access=fit_curve(ns, s.data_access_seconds),
+            output_bytes=fit_curve(ns, s.output_bytes),
+            storage_bytes=fit_curve(ns, s.storage_bytes),
+        )

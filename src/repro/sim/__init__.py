@@ -1,0 +1,12 @@
+"""Discrete-event simulation substrate.
+
+A minimal but complete event-driven engine: a priority queue of timed
+events and a monotonic simulated clock.  All hardware models in
+:mod:`repro.hw` and :mod:`repro.storage` advance time through this
+engine, so an end-to-end ActivePy run is fully deterministic.
+"""
+
+from .clock import SimClock
+from .engine import Event, EventQueue, Simulator
+
+__all__ = ["SimClock", "Event", "EventQueue", "Simulator"]

@@ -1,0 +1,55 @@
+"""Simulated monotonic clock."""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+
+class SimClock:
+    """A monotonic clock measured in simulated seconds.
+
+    The clock only moves forward.  Components hold a shared reference
+    and call :meth:`advance` as they consume time, or :meth:`advance_to`
+    when synchronising with an event timestamp.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise SimulationError(f"clock cannot start at negative time {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, duration: float) -> float:
+        """Move the clock forward by ``duration`` seconds.
+
+        Returns the new time.  Negative durations are rejected; zero is
+        allowed (instantaneous bookkeeping events).
+        """
+        if duration < 0:
+            raise SimulationError(f"cannot advance clock by negative duration {duration}")
+        self._now += duration
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock forward to an absolute ``timestamp``.
+
+        A timestamp in the past is rejected: simulated time is
+        monotonic.  Returns the new time.
+        """
+        if timestamp < self._now:
+            raise SimulationError(
+                f"cannot move clock backwards from {self._now} to {timestamp}"
+            )
+        self._now = float(timestamp)
+        return self._now
+
+    def reset(self) -> None:
+        """Rewind to time zero (only for reusing a clock across runs)."""
+        self._now = 0.0
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now!r})"

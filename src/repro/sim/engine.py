@@ -1,0 +1,153 @@
+"""Event queue and simulator loop.
+
+The engine is deliberately small: an :class:`Event` couples a timestamp
+with a callback, the :class:`EventQueue` orders them (stably, by
+insertion order within a timestamp), and :class:`Simulator` pops events
+and advances the shared :class:`~repro.sim.clock.SimClock`.
+
+Hardware models use this for *asynchronous* behaviour — background
+garbage collection, CSE availability changes, congestion onset — while
+straight-line execution cost is accounted synchronously via
+``clock.advance``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+from .clock import SimClock
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events order by time, then by a monotonically increasing sequence
+    number so same-time events fire in scheduling order.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A stable min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def push(self, time: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` at absolute ``time`` and return the event."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule event at negative time {time}")
+        event = Event(time=time, seq=next(self._counter), action=action, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or None if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the earliest live event, or None if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+
+class Simulator:
+    """Owns the clock and the event queue; runs events in time order."""
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self.events = EventQueue()
+        self._fired = 0
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (for tests/diagnostics)."""
+        return self._fired
+
+    def schedule_at(self, time: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` at an absolute simulated time."""
+        if time < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event in the past ({time} < {self.clock.now})"
+            )
+        return self.events.push(time, action, label)
+
+    def schedule_after(self, delay: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event with negative delay {delay}")
+        return self.events.push(self.clock.now + delay, action, label)
+
+    def fire_due_events(self) -> int:
+        """Run every event due at or before the current time.
+
+        Used by synchronous execution paths after advancing the clock:
+        the executor consumes compute time, then lets any background
+        events (availability changes, GC) that became due take effect.
+        Returns the number of events fired.
+        """
+        fired = 0
+        while True:
+            next_time = self.events.peek_time()
+            if next_time is None or next_time > self.clock.now:
+                return fired
+            event = self.events.pop()
+            assert event is not None
+            event.action()
+            self._fired += 1
+            fired += 1
+
+    def run_until(self, deadline: float) -> None:
+        """Advance to ``deadline``, firing all events on the way."""
+        if deadline < self.clock.now:
+            raise SimulationError(
+                f"deadline {deadline} is before current time {self.clock.now}"
+            )
+        while True:
+            next_time = self.events.peek_time()
+            if next_time is None or next_time > deadline:
+                break
+            event = self.events.pop()
+            assert event is not None
+            self.clock.advance_to(max(event.time, self.clock.now))
+            event.action()
+            self._fired += 1
+        self.clock.advance_to(deadline)
+
+    def run_all(self, max_events: int = 1_000_000) -> None:
+        """Fire every scheduled event in order until the queue drains."""
+        for _ in range(max_events):
+            event = self.events.pop()
+            if event is None:
+                return
+            self.clock.advance_to(max(event.time, self.clock.now))
+            event.action()
+            self._fired += 1
+        raise SimulationError(f"run_all exceeded {max_events} events; likely a scheduling loop")

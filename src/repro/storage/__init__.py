@@ -1,0 +1,29 @@
+"""Computational storage device (CSD) substrate.
+
+This package models the device in Figure 1 of the paper: NAND flash
+arrays behind an FTL, device DRAM, NVMe queue pairs toward the host,
+PCIe BAR windows exposing device memory, and a computational storage
+engine (CSE) that executes offloaded tasks near the data.
+"""
+
+from .bar import BarWindow
+from .cse import ComputationalStorageEngine
+from .csd import ComputationalStorageDevice
+from .ftl import PageMappingFTL
+from .nand import FlashArray, FlashGeometry, PageState
+from .nvme import CompletionQueue, QueuePair, SubmissionQueue
+from .tenant import BackgroundLoad
+
+__all__ = [
+    "BackgroundLoad",
+    "BarWindow",
+    "ComputationalStorageEngine",
+    "ComputationalStorageDevice",
+    "PageMappingFTL",
+    "FlashArray",
+    "FlashGeometry",
+    "PageState",
+    "CompletionQueue",
+    "QueuePair",
+    "SubmissionQueue",
+]

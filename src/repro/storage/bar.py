@@ -1,0 +1,67 @@
+"""PCIe BAR window: device memory exposed into the host address space.
+
+CSDs supporting ActivePy declare part of their DRAM in a PCIe base
+address register so the OS can map it into any program's virtual memory
+(paper §III-C0a).  The same window carries generated CSD binaries: the
+host "emits the generated CSD binary into the target device memory
+location without additional commands or protocols" (§III-C0d).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import StorageError
+from ..memory.address_space import MemoryRegion, SharedAddressSpace
+
+
+class BarWindow:
+    """A mapped view of device DRAM inside the shared address space."""
+
+    def __init__(
+        self,
+        device_name: str,
+        size: int,
+        space: SharedAddressSpace,
+    ) -> None:
+        if size <= 0:
+            raise StorageError(f"BAR window for {device_name!r} needs positive size")
+        self.device_name = device_name
+        self.region: MemoryRegion = space.map_region(
+            name=f"{device_name}.bar", size=size, location=device_name
+        )
+        self._binaries: dict[str, int] = {}
+        self.bytes_written = 0
+
+    @property
+    def base(self) -> int:
+        return self.region.base
+
+    @property
+    def size(self) -> int:
+        return self.region.size
+
+    def install_binary(self, name: str, nbytes: int) -> int:
+        """Copy a generated binary into device memory via the window.
+
+        Returns the device address the binary landed at.  Reinstalling
+        under the same name replaces the old image (code regeneration
+        after migration does this).
+        """
+        if nbytes <= 0:
+            raise StorageError(f"binary {name!r} must have positive size")
+        old_address = self._binaries.get(name)
+        if old_address is not None:
+            del self._binaries[name]
+        allocation = self.region.allocator.allocate(int(nbytes))
+        self._binaries[name] = allocation.address
+        self.bytes_written += nbytes
+        return allocation.address
+
+    def binary_address(self, name: str) -> Optional[int]:
+        """Device address of an installed binary, or None."""
+        return self._binaries.get(name)
+
+    @property
+    def installed_binaries(self) -> tuple[str, ...]:
+        return tuple(self._binaries)

@@ -1,0 +1,137 @@
+"""The assembled computational storage device.
+
+Wires together the pieces of Figure 1: NAND flash arrays behind a
+page-mapping FTL, device DRAM exposed through a PCIe BAR, an NVMe queue
+pair toward the host, the internal interconnect, and the CSE.  The
+device offers two data paths:
+
+* the **host path** — the host reads stored data over the (shared,
+  narrow) system interconnect, and
+* the **internal path** — the CSE streams the same data over the
+  in-device bus at the richer internal bandwidth (9 GB/s measured in
+  the paper's prototype).
+
+Bulk streaming bandwidth is modelled by the internal
+:class:`~repro.hw.interconnect.Link`; the :class:`FlashArray`/FTL pair
+additionally model page-level state so garbage collection emerges as a
+real contention source rather than a synthetic knob.
+"""
+
+from __future__ import annotations
+
+from ..config import SystemConfig
+from ..errors import StorageError
+from ..hw.interconnect import Link
+from ..memory.address_space import SharedAddressSpace
+from ..sim.engine import Simulator
+from .bar import BarWindow
+from .cse import ComputationalStorageEngine
+from .ftl import PageMappingFTL
+from .nand import FlashArray, FlashGeometry
+from .nvme import QueuePair
+
+
+class ComputationalStorageDevice:
+    """A CSD: storage plus a near-data compute engine."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        simulator: Simulator,
+        space: SharedAddressSpace,
+        name: str = "csd",
+    ) -> None:
+        self.name = name
+        self.config = config
+        self.simulator = simulator
+        geometry = FlashGeometry(
+            channels=config.nand_channels,
+            page_bytes=config.nand_page_bytes,
+            pages_per_block=config.nand_pages_per_block,
+            read_latency_s=config.nand_read_latency_s,
+            program_latency_s=config.nand_program_latency_s,
+            erase_latency_s=config.nand_erase_latency_s,
+        )
+        self.flash = FlashArray(geometry)
+        self.ftl = PageMappingFTL(self.flash)
+        self.cse = ComputationalStorageEngine(
+            ips=config.cse_ips,
+            simulator=simulator,
+            cores=config.cse_cores,
+            name=name,
+        )
+        self.internal_link = Link(
+            name=f"{name}.internal",
+            bandwidth=config.bw_internal,
+            clock=simulator.clock,
+        )
+        self.bar = BarWindow(
+            device_name=name,
+            size=int(config.device_dram_bytes),
+            space=space,
+        )
+        self.queue_pair = QueuePair.create(name=f"{name}.qp")
+        self._stored_bytes: dict[str, float] = {}
+
+    # --- dataset residency -----------------------------------------------
+
+    def store_dataset(self, dataset_name: str, nbytes: float) -> None:
+        """Declare that a named dataset resides on this device's flash."""
+        if nbytes <= 0:
+            raise StorageError(f"dataset {dataset_name!r} needs positive size")
+        total = sum(self._stored_bytes.values()) + nbytes
+        if total > self.config.nand_capacity_bytes:
+            raise StorageError(
+                f"device {self.name!r} capacity exceeded: "
+                f"{total} > {self.config.nand_capacity_bytes}"
+            )
+        self._stored_bytes[dataset_name] = float(nbytes)
+
+    def holds_dataset(self, dataset_name: str) -> bool:
+        return dataset_name in self._stored_bytes
+
+    def dataset_bytes(self, dataset_name: str) -> float:
+        if dataset_name not in self._stored_bytes:
+            raise StorageError(f"dataset {dataset_name!r} is not stored on {self.name!r}")
+        return self._stored_bytes[dataset_name]
+
+    # --- data paths --------------------------------------------------------
+
+    def internal_read(self, nbytes: float) -> float:
+        """Stream ``nbytes`` from NAND to the CSE over the internal bus.
+
+        Advances the clock and returns the elapsed time.
+        """
+        return self.internal_link.transfer(nbytes)
+
+    def internal_read_time(self, nbytes: float) -> float:
+        """Time the internal path would take, without advancing the clock."""
+        return self.internal_link.transfer_time(nbytes)
+
+    # --- garbage-collection contention ----------------------------------------
+
+    def inject_write_burst(self, pages: int) -> float:
+        """Issue a burst of logical writes, possibly triggering GC.
+
+        Returns the GC busy time the burst caused, and throttles the CSE
+        for that period by scheduling an availability dip: while the
+        controller relocates pages it steals engine cycles (paper
+        §II-B3, contention "from the storage management workloads").
+        """
+        if pages <= 0:
+            raise StorageError(f"write burst needs a positive page count, got {pages}")
+        gc_before = self.ftl.gc_busy_seconds
+        lpn_span = min(self.ftl.logical_pages, max(pages, 1))
+        for i in range(pages):
+            self.ftl.write(i % lpn_span)
+        gc_time = self.ftl.gc_busy_seconds - gc_before
+        if gc_time > 0:
+            now = self.simulator.now
+            original = self.cse.availability
+            self.cse.set_availability(max(0.05, original * 0.5))
+            self.simulator.schedule_at(
+                now + gc_time,
+                lambda: self.cse.set_availability(original),
+                label="gc-contention-end",
+            )
+        return gc_time

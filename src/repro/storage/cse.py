@@ -1,0 +1,96 @@
+"""Computational storage engine (CSE).
+
+The CSE is the in-device processor that runs offloaded tasks (the
+paper's prototype uses 8 ARM Cortex-A72 cores).  It is a
+:class:`~repro.hw.compute.ComputeUnit` plus two behaviours the
+experiments need:
+
+* an **availability schedule** — timed events that throttle the engine,
+  modelling co-located tenants or firmware work arriving mid-run
+  (Figures 2 and 5 sweep availability over 100%/50%/10%);
+* **high-priority preemption flags** — the device can signal the host
+  runtime through the command pages that it must reclaim the engine
+  (paper §III-D case 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import HardwareError
+from ..hw.compute import ComputeUnit
+from ..sim.engine import Simulator
+
+
+class ComputationalStorageEngine(ComputeUnit):
+    """An in-device compute unit with scheduled contention."""
+
+    def __init__(
+        self,
+        ips: float,
+        simulator: Simulator,
+        cores: int = 8,
+        clock_hz: float = 2.0e9,
+        name: str = "csd",
+    ) -> None:
+        super().__init__(name=name, ips=ips, clock=simulator.clock, clock_hz=clock_hz)
+        if cores <= 0:
+            raise HardwareError(f"CSE needs a positive core count, got {cores}")
+        self.cores = cores
+        self.simulator = simulator
+        self.high_priority_pending = False
+        self._scheduled_events = []
+
+    # --- contention scheduling --------------------------------------------
+
+    def schedule_availability(self, at_time: float, fraction: float) -> None:
+        """Throttle the engine to ``fraction`` at absolute sim time."""
+        if not 0 < fraction <= 1:
+            raise HardwareError(f"availability must lie in (0, 1], got {fraction}")
+        event = self.simulator.schedule_at(
+            at_time,
+            lambda: self.set_availability(fraction),
+            label=f"cse-availability-{fraction:.2f}",
+        )
+        self._scheduled_events.append(event)
+
+    def schedule_high_priority_request(self, at_time: float) -> None:
+        """Raise the preemption flag at absolute sim time.
+
+        The host runtime observes the flag through status updates and
+        must migrate the offloaded task immediately.
+        """
+        event = self.simulator.schedule_at(
+            at_time, self._raise_high_priority, label="cse-high-priority"
+        )
+        self._scheduled_events.append(event)
+
+    def _raise_high_priority(self) -> None:
+        self.high_priority_pending = True
+
+    def acknowledge_high_priority(self) -> None:
+        """Host runtime acknowledges and clears the preemption flag."""
+        self.high_priority_pending = False
+
+    def cancel_scheduled(self) -> None:
+        """Cancel all pending contention events (between experiments)."""
+        for event in self._scheduled_events:
+            event.cancel()
+        self._scheduled_events.clear()
+
+    # --- calibration --------------------------------------------------------
+
+    def read_performance_counters(self) -> dict:
+        """Architectural counters as ActivePy's estimator queries them.
+
+        This is deliberately the *only* channel through which the
+        runtime learns about the engine: nominal per-cycle throughput
+        and the live counters, never the availability knob.
+        """
+        return {
+            "ipc_nominal": self.expected_ipc(),
+            "clock_hz": self.clock_hz,
+            "cores": self.cores,
+            "retired_instructions": self.counters.retired_instructions,
+            "cycles": self.counters.cycles,
+        }

@@ -1,0 +1,206 @@
+"""NAND flash array model.
+
+Models the geometry and state rules of NAND flash: pages must be erased
+(at block granularity) before they can be programmed, programs within a
+block proceed in page order, and reads/programs/erases have asymmetric
+latencies.  The FTL (:mod:`repro.storage.ftl`) builds on these rules;
+violating them raises :class:`~repro.errors.FlashError`, which is how
+the test suite checks the FTL never misuses the medium.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import FlashError
+
+
+class PageState(enum.Enum):
+    """Lifecycle of a physical flash page."""
+
+    FREE = "free"        # erased, programmable
+    VALID = "valid"      # holds live data
+    INVALID = "invalid"  # holds stale data, awaiting erase
+
+
+@dataclass(frozen=True)
+class FlashGeometry:
+    """Static shape of a flash array."""
+
+    channels: int = 8
+    blocks_per_channel: int = 64
+    pages_per_block: int = 256
+    page_bytes: int = 16384
+    read_latency_s: float = 60e-6
+    program_latency_s: float = 600e-6
+    erase_latency_s: float = 3e-3
+
+    def __post_init__(self) -> None:
+        for name in ("channels", "blocks_per_channel", "pages_per_block", "page_bytes"):
+            if getattr(self, name) <= 0:
+                raise FlashError(f"geometry field {name} must be positive")
+        for name in ("read_latency_s", "program_latency_s", "erase_latency_s"):
+            if getattr(self, name) <= 0:
+                raise FlashError(f"geometry field {name} must be positive")
+
+    @property
+    def total_blocks(self) -> int:
+        return self.channels * self.blocks_per_channel
+
+    @property
+    def pages_per_channel(self) -> int:
+        return self.blocks_per_channel * self.pages_per_block
+
+    @property
+    def total_pages(self) -> int:
+        return self.total_blocks * self.pages_per_block
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.total_pages * self.page_bytes
+
+    @property
+    def peak_read_bandwidth(self) -> float:
+        """Aggregate read bandwidth with all channels streaming."""
+        return self.channels * self.page_bytes / self.read_latency_s
+
+
+class Block:
+    """One erase block: a vector of page states plus a write pointer.
+
+    Valid/invalid counts are maintained incrementally — the FTL's GC
+    victim selection consults them on every write, so recounting the
+    page vector would make churny workloads quadratic.
+    """
+
+    def __init__(self, geometry: FlashGeometry, block_id: int) -> None:
+        self.geometry = geometry
+        self.block_id = block_id
+        self.pages = [PageState.FREE] * geometry.pages_per_block
+        self.write_pointer = 0
+        self.erase_count = 0
+        self.valid_pages = 0
+        self.invalid_pages = 0
+
+    @property
+    def free_pages(self) -> int:
+        return self.geometry.pages_per_block - self.write_pointer
+
+    @property
+    def is_full(self) -> bool:
+        return self.write_pointer >= self.geometry.pages_per_block
+
+
+class FlashArray:
+    """All blocks across all channels, with state-rule enforcement.
+
+    Physical pages are addressed by a flat index; helpers convert to
+    (channel, block, page).  The array reports latency costs but does
+    not own a clock — the enclosing device decides whether an operation
+    is on the critical path (foreground read) or background (GC).
+    """
+
+    def __init__(self, geometry: FlashGeometry = FlashGeometry()) -> None:
+        self.geometry = geometry
+        self.blocks = [Block(geometry, b) for b in range(geometry.total_blocks)]
+        self.reads = 0
+        self.programs = 0
+        self.erases = 0
+        self._free_blocks = geometry.total_blocks
+
+    # --- addressing -----------------------------------------------------
+
+    def split_address(self, page_addr: int) -> tuple[int, int]:
+        """Return (block index, page index within block) for a flat address."""
+        if not 0 <= page_addr < self.geometry.total_pages:
+            raise FlashError(
+                f"page address {page_addr} out of range [0, {self.geometry.total_pages})"
+            )
+        return divmod(page_addr, self.geometry.pages_per_block)
+
+    def page_state(self, page_addr: int) -> PageState:
+        block_idx, page_idx = self.split_address(page_addr)
+        return self.blocks[block_idx].pages[page_idx]
+
+    def channel_of(self, page_addr: int) -> int:
+        block_idx, _ = self.split_address(page_addr)
+        return block_idx % self.geometry.channels
+
+    # --- operations -------------------------------------------------------
+
+    def read_page(self, page_addr: int) -> float:
+        """Read one page; returns the latency cost in seconds."""
+        if self.page_state(page_addr) is not PageState.VALID:
+            raise FlashError(f"page {page_addr} is not valid; cannot read")
+        self.reads += 1
+        return self.geometry.read_latency_s
+
+    def program_next_page(self, block_idx: int) -> tuple[int, float]:
+        """Program the next free page of a block in sequence.
+
+        Returns (flat page address, latency).  NAND forbids in-place
+        update and out-of-order programming within a block.
+        """
+        if not 0 <= block_idx < self.geometry.total_blocks:
+            raise FlashError(f"block {block_idx} out of range")
+        block = self.blocks[block_idx]
+        if block.is_full:
+            raise FlashError(f"block {block_idx} has no free pages")
+        page_idx = block.write_pointer
+        if block.pages[page_idx] is not PageState.FREE:
+            raise FlashError(
+                f"block {block_idx} page {page_idx} not erased; cannot program"
+            )
+        if block.write_pointer == 0:
+            self._free_blocks -= 1
+        block.pages[page_idx] = PageState.VALID
+        block.valid_pages += 1
+        block.write_pointer += 1
+        self.programs += 1
+        page_addr = block_idx * self.geometry.pages_per_block + page_idx
+        return page_addr, self.geometry.program_latency_s
+
+    def invalidate_page(self, page_addr: int) -> None:
+        """Mark a page stale after its logical data moved elsewhere."""
+        block_idx, page_idx = self.split_address(page_addr)
+        block = self.blocks[block_idx]
+        if block.pages[page_idx] is not PageState.VALID:
+            raise FlashError(f"page {page_addr} is not valid; cannot invalidate")
+        block.pages[page_idx] = PageState.INVALID
+        block.valid_pages -= 1
+        block.invalid_pages += 1
+
+    def erase_block(self, block_idx: int) -> float:
+        """Erase a block; all its pages must already be stale or free."""
+        if not 0 <= block_idx < self.geometry.total_blocks:
+            raise FlashError(f"block {block_idx} out of range")
+        block = self.blocks[block_idx]
+        if block.valid_pages:
+            raise FlashError(
+                f"block {block_idx} still holds {block.valid_pages} valid pages"
+            )
+        if block.write_pointer > 0:
+            self._free_blocks += 1
+        block.pages = [PageState.FREE] * self.geometry.pages_per_block
+        block.write_pointer = 0
+        block.valid_pages = 0
+        block.invalid_pages = 0
+        block.erase_count += 1
+        self.erases += 1
+        return self.geometry.erase_latency_s
+
+    # --- aggregate state ---------------------------------------------------
+
+    @property
+    def free_blocks(self) -> int:
+        """Fully erased blocks (tracked incrementally; GC polls this)."""
+        return self._free_blocks
+
+    @property
+    def valid_pages(self) -> int:
+        return sum(b.valid_pages for b in self.blocks)
+
+    def utilisation(self) -> float:
+        """Fraction of pages currently holding live data."""
+        return self.valid_pages / self.geometry.total_pages

@@ -1,0 +1,149 @@
+"""NVMe-style submission/completion queue pairs.
+
+ActivePy invokes CSD functions the way NVMe invokes commands (paper
+§III-C0b): the host writes a request into a submission queue mapped in
+device memory, rings a doorbell, and the CSE pulls requests whenever it
+is free; results and per-line status updates flow back through the
+completion queue.  These are bounded ring buffers with explicit
+head/tail indices, as in the NVMe specification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import DispatchError
+
+
+@dataclass
+class Command:
+    """A queued request (CSD function call or control message)."""
+
+    opcode: str
+    payload: Any = None
+    command_id: int = 0
+
+
+@dataclass
+class Completion:
+    """A completion entry, matched to a command by id."""
+
+    command_id: int
+    status: str = "ok"
+    payload: Any = None
+
+
+class _Ring:
+    """Bounded ring buffer with NVMe-style head/tail semantics."""
+
+    def __init__(self, name: str, depth: int) -> None:
+        if depth < 2:
+            raise DispatchError(f"queue {name!r} depth must be >= 2, got {depth}")
+        self.name = name
+        self.depth = depth
+        self._slots: list[Optional[Any]] = [None] * depth
+        self.head = 0  # consumer index
+        self.tail = 0  # producer index
+
+    def __len__(self) -> int:
+        return (self.tail - self.head) % self.depth
+
+    @property
+    def is_empty(self) -> bool:
+        return self.head == self.tail
+
+    @property
+    def is_full(self) -> bool:
+        # One slot is sacrificed to distinguish full from empty.
+        return (self.tail + 1) % self.depth == self.head
+
+    def push(self, item: Any) -> None:
+        if self.is_full:
+            raise DispatchError(f"queue {self.name!r} is full (depth {self.depth})")
+        self._slots[self.tail] = item
+        self.tail = (self.tail + 1) % self.depth
+
+    def pop(self) -> Any:
+        if self.is_empty:
+            raise DispatchError(f"queue {self.name!r} is empty")
+        item = self._slots[self.head]
+        self._slots[self.head] = None
+        self.head = (self.head + 1) % self.depth
+        return item
+
+
+class SubmissionQueue:
+    """Host-side producer ring for commands, with a doorbell."""
+
+    def __init__(self, depth: int = 64, name: str = "sq") -> None:
+        self._ring = _Ring(name, depth)
+        self.doorbell_rings = 0
+        self._next_command_id = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def is_empty(self) -> bool:
+        return self._ring.is_empty
+
+    @property
+    def is_full(self) -> bool:
+        return self._ring.is_full
+
+    def submit(self, opcode: str, payload: Any = None) -> int:
+        """Enqueue a command and ring the doorbell; returns its id."""
+        command_id = self._next_command_id
+        self._next_command_id += 1
+        self._ring.push(Command(opcode=opcode, payload=payload, command_id=command_id))
+        self.doorbell_rings += 1
+        return command_id
+
+    def fetch(self) -> Command:
+        """Device side: pull the oldest pending command."""
+        return self._ring.pop()
+
+
+class CompletionQueue:
+    """Device-side producer ring for completions and status updates."""
+
+    def __init__(self, depth: int = 64, name: str = "cq") -> None:
+        self._ring = _Ring(name, depth)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def is_empty(self) -> bool:
+        return self._ring.is_empty
+
+    def post(self, completion: Completion) -> None:
+        """Device side: publish a completion entry."""
+        self._ring.push(completion)
+
+    def reap(self) -> Completion:
+        """Host side: consume the oldest completion entry."""
+        return self._ring.pop()
+
+    def drain(self) -> list[Completion]:
+        """Host side: consume every pending completion entry."""
+        entries = []
+        while not self._ring.is_empty:
+            entries.append(self._ring.pop())
+        return entries
+
+
+@dataclass
+class QueuePair:
+    """A bound submission/completion pair, as NVMe allocates them."""
+
+    sq: SubmissionQueue = field(default_factory=SubmissionQueue)
+    cq: CompletionQueue = field(default_factory=CompletionQueue)
+
+    @classmethod
+    def create(cls, depth: int = 64, name: str = "qp") -> "QueuePair":
+        return cls(
+            sq=SubmissionQueue(depth=depth, name=f"{name}.sq"),
+            cq=CompletionQueue(depth=depth, name=f"{name}.cq"),
+        )

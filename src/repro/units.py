@@ -1,0 +1,69 @@
+"""Unit constants and formatting helpers.
+
+The simulator works in base SI units throughout: bytes for sizes,
+seconds for times, instructions for work.  These helpers exist so call
+sites read as ``9.1 * GB`` instead of ``9.1e9``, and so reports print
+human-readable figures.
+"""
+
+from __future__ import annotations
+
+# Decimal (storage-vendor) units -- the paper quotes GB/sec figures in
+# these, e.g. the 9 GB/s internal NAND bandwidth.
+KB = 10**3
+MB = 10**6
+GB = 10**9
+TB = 10**12
+
+# Binary units, for DRAM-style capacities.
+KIB = 2**10
+MIB = 2**20
+GIB = 2**30
+
+# Work units.
+GIPS = 10**9  # giga-instructions per second
+
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count with a scaled decimal suffix.
+
+    >>> format_bytes(9.1e9)
+    '9.10 GB'
+    >>> format_bytes(512)
+    '512 B'
+    """
+    if n < 0:
+        raise ValueError(f"byte count must be non-negative, got {n}")
+    for factor, suffix in ((TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if n >= factor:
+            return f"{n / factor:.2f} {suffix}"
+    return f"{n:.0f} B"
+
+
+def format_seconds(t: float) -> str:
+    """Render a duration with an appropriate scale.
+
+    >>> format_seconds(0.0000031)
+    '3.10 us'
+    >>> format_seconds(73.2)
+    '73.20 s'
+    """
+    if t < 0:
+        raise ValueError(f"duration must be non-negative, got {t}")
+    if t >= 1.0:
+        return f"{t:.2f} s"
+    if t >= MILLISECOND:
+        return f"{t / MILLISECOND:.2f} ms"
+    return f"{t / MICROSECOND:.2f} us"
+
+
+def format_rate(bytes_per_second: float) -> str:
+    """Render a bandwidth figure.
+
+    >>> format_rate(9e9)
+    '9.00 GB/s'
+    """
+    return f"{format_bytes(bytes_per_second)}/s"

@@ -1,0 +1,12 @@
+"""The paper's evaluation applications (Table I, plus SparseMV).
+
+Each workload couples a synthetic dataset generator (sized to the
+paper's reported input volume at full scale) with an unannotated
+program whose kernels really compute.  ``all_workloads`` builds the
+full suite; ``get_workload`` builds one by name, optionally scaled down
+for functional tests.
+"""
+
+from .base import Workload, all_workloads, get_workload, workload_names
+
+__all__ = ["Workload", "all_workloads", "get_workload", "workload_names"]

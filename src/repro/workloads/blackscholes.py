@@ -1,0 +1,126 @@
+"""Blackscholes: European option pricing over a stored option book.
+
+Table I: 9.1 GB.  Each stored record is one option contract (spot,
+strike, expiry, rate, volatility, plus framing).  The program parses
+the book, evaluates the Black-Scholes-Merton formula, and reduces the
+prices to summary statistics — a classic streaming workload where the
+early, cheap, volume-reducing lines are CSD-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..lang.dataset import Dataset
+from ..lang.program import Program, Statement, constant, per_record
+from ..units import GB
+from .base import Workload, register, scaled_records
+
+#: Stored bytes per option record.
+RECORD_BYTES = 48.0
+#: Table I size.
+TABLE1_BYTES = 9.1 * GB
+#: Record population at full scale.
+FULL_RECORDS = int(TABLE1_BYTES / RECORD_BYTES)
+
+# Per-record instruction counts (ground truth for the simulator).
+_INSTR_PARSE = 36.0
+_INSTR_PRICE = 70.0
+_INSTR_REDUCE = 6.0
+
+
+def _build_payload(n: int, full: int) -> Dict[str, Any]:
+    rng = np.random.default_rng(101)
+    return {
+        "spot": rng.uniform(20.0, 180.0, size=n),
+        "strike": rng.uniform(20.0, 180.0, size=n),
+        "expiry": rng.uniform(0.1, 2.0, size=n),
+        "rate": np.full(n, 0.02),
+        "vol": rng.uniform(0.1, 0.6, size=n),
+    }
+
+
+def _cnd(x: np.ndarray) -> np.ndarray:
+    """Cumulative standard normal via the Abramowitz-Stegun polynomial."""
+    k = 1.0 / (1.0 + 0.2316419 * np.abs(x))
+    poly = k * (0.319381530 + k * (-0.356563782 + k * (
+        1.781477937 + k * (-1.821255978 + k * 1.330274429))))
+    approx = 1.0 - np.exp(-0.5 * x * x) / np.sqrt(2.0 * np.pi) * poly
+    return np.where(x >= 0, approx, 1.0 - approx)
+
+
+def _k_parse(p: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "spot": np.asarray(p["spot"], dtype=np.float64),
+        "strike": np.asarray(p["strike"], dtype=np.float64),
+        "expiry": np.asarray(p["expiry"], dtype=np.float64),
+        "rate": np.asarray(p["rate"], dtype=np.float64),
+        "vol": np.asarray(p["vol"], dtype=np.float64),
+    }
+
+
+def _k_price(p: Dict[str, Any]) -> Dict[str, Any]:
+    """d1/d2, cumulative normals and the call price, in one line."""
+    sqrt_t = np.sqrt(p["expiry"])
+    d1 = (
+        np.log(p["spot"] / p["strike"])
+        + (p["rate"] + 0.5 * p["vol"] ** 2) * p["expiry"]
+    ) / (p["vol"] * sqrt_t)
+    d2 = d1 - p["vol"] * sqrt_t
+    discount = np.exp(-p["rate"] * p["expiry"])
+    call = p["spot"] * _cnd(d1) - p["strike"] * discount * _cnd(d2)
+    return {"price": call}
+
+
+def _k_reduce(p: Dict[str, Any]) -> Dict[str, Any]:
+    price = p["price"]
+    return {
+        "mean_price": float(np.mean(price)),
+        "max_price": float(np.max(price)),
+        "total_value": float(np.sum(price)),
+    }
+
+
+def build_program() -> Program:
+    return Program(
+        "blackscholes",
+        [
+            Statement(
+                "parse_options", _k_parse,
+                instructions=per_record(_INSTR_PARSE),
+                output_bytes=per_record(40.0),
+                storage_bytes=per_record(RECORD_BYTES),
+                chunks=64,
+            ),
+            Statement(
+                "price_options", _k_price,
+                instructions=per_record(_INSTR_PRICE),
+                output_bytes=per_record(8.0),
+            ),
+            Statement(
+                "reduce_stats", _k_reduce,
+                instructions=per_record(_INSTR_REDUCE),
+                output_bytes=constant(24.0),
+            ),
+        ],
+    )
+
+
+@register("blackscholes")
+def build(scale: float = 1.0) -> Workload:
+    n = scaled_records(FULL_RECORDS, scale)
+    dataset = Dataset(
+        name="blackscholes.options",
+        n_records=n,
+        record_bytes=RECORD_BYTES,
+        builder=_build_payload,
+    )
+    return Workload(
+        name="blackscholes",
+        description="European option pricing over a stored option book",
+        table1_bytes=TABLE1_BYTES,
+        dataset=dataset,
+        program=build_program(),
+    )

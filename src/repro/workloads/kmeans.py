@@ -1,0 +1,131 @@
+"""KMeans: out-of-core Lloyd clustering of a stored point set.
+
+Table I: 5.3 GB — too large for the paper's device DRAM budget to hold
+alongside co-tenants, so every Lloyd iteration re-streams the point set
+from storage.  The assignment line therefore dominates both I/O and
+compute (it is folded over all iterations, as the paper folds dynamic
+instances into their source line), which makes it the workload's big
+offload opportunity: only labels and centroids ever cross the link.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..lang.dataset import Dataset
+from ..lang.program import Program, Statement, constant, per_record
+from ..ml.kmeans_core import init_centroids, kmeans_assign, kmeans_update
+from ..units import GB
+from .base import Workload, register, scaled_records
+
+#: Point dimensionality and stored bytes per point (f64 features).
+DIMENSIONS = 16
+RECORD_BYTES = 8.0 * DIMENSIONS
+TABLE1_BYTES = 5.3 * GB
+FULL_RECORDS = int(TABLE1_BYTES / RECORD_BYTES)
+
+#: Lloyd iterations (each re-streams the stored points).
+ITERATIONS = 10
+CLUSTERS = 16
+
+# Ground-truth per-record instruction counts.
+_INSTR_LOAD = 6.0
+_INSTR_ASSIGN_PER_ITER = 300.0
+_INSTR_UPDATE_PER_ITER = 4.0
+_INSTR_INERTIA = 8.0
+
+
+def _build_payload(n: int, full: int) -> Dict[str, Any]:
+    rng = np.random.default_rng(211)
+    # A mixture of well-separated Gaussian blobs so clustering succeeds.
+    centers = rng.uniform(-40.0, 40.0, size=(CLUSTERS, DIMENSIONS))
+    assignments = rng.integers(0, CLUSTERS, size=n)
+    points = centers[assignments] + rng.normal(0.0, 2.0, size=(n, DIMENSIONS))
+    return {"points": points}
+
+
+def _k_init(p: Dict[str, Any]) -> Dict[str, Any]:
+    points = p["points"]
+    k = min(CLUSTERS, points.shape[0])
+    return {"points": points, "centroids": init_centroids(points, k)}
+
+
+def _k_assign_update(p: Dict[str, Any]) -> Dict[str, Any]:
+    """All Lloyd iterations folded into the assignment line."""
+    points = p["points"]
+    centroids = p["centroids"]
+    k = centroids.shape[0]
+    labels = np.zeros(points.shape[0], dtype=np.int64)
+    for _ in range(ITERATIONS):
+        labels = kmeans_assign(points, centroids)
+        new_centroids, counts = kmeans_update(points, labels, k)
+        empty = counts == 0
+        new_centroids[empty] = centroids[empty]
+        centroids = new_centroids
+    return {"labels": labels, "centroids": centroids, "points_ref": points}
+
+
+def _k_inertia(p: Dict[str, Any]) -> Dict[str, Any]:
+    points = p["points_ref"]
+    deltas = points - p["centroids"][p["labels"]]
+    return {
+        "centroids": p["centroids"],
+        "inertia": float(np.einsum("nd,nd->", deltas, deltas)),
+        "cluster_sizes": np.bincount(
+            p["labels"], minlength=p["centroids"].shape[0]
+        ),
+    }
+
+
+def build_program() -> Program:
+    centroid_bytes = float(CLUSTERS * DIMENSIONS * 8)
+    return Program(
+        "kmeans",
+        [
+            Statement(
+                "init_centroids", _k_init,
+                instructions=per_record(_INSTR_LOAD),
+                # The point set flows on by reference; centroids ride along.
+                output_bytes=per_record(RECORD_BYTES),
+                storage_bytes=per_record(RECORD_BYTES),
+            ),
+            Statement(
+                "assign_and_update", _k_assign_update,
+                instructions=per_record(
+                    (ITERATIONS - 1)
+                    * (_INSTR_ASSIGN_PER_ITER + _INSTR_UPDATE_PER_ITER)
+                    + _INSTR_ASSIGN_PER_ITER
+                ),
+                # Labels (8 B) plus the shared point reference and centroids.
+                output_bytes=per_record(8.0 + RECORD_BYTES),
+                # Iterations 2..N re-stream the stored points.
+                storage_bytes=per_record(RECORD_BYTES * (ITERATIONS - 1)),
+                chunks=ITERATIONS * 8,
+            ),
+            Statement(
+                "compute_inertia", _k_inertia,
+                instructions=per_record(_INSTR_INERTIA),
+                output_bytes=constant(CLUSTERS * DIMENSIONS * 8.0 + CLUSTERS * 8.0 + 8.0),
+            ),
+        ],
+    )
+
+
+@register("kmeans")
+def build(scale: float = 1.0) -> Workload:
+    n = scaled_records(FULL_RECORDS, scale)
+    dataset = Dataset(
+        name="kmeans.points",
+        n_records=n,
+        record_bytes=RECORD_BYTES,
+        builder=_build_payload,
+    )
+    return Workload(
+        name="kmeans",
+        description="Out-of-core Lloyd clustering of a stored point set",
+        table1_bytes=TABLE1_BYTES,
+        dataset=dataset,
+        program=build_program(),
+    )

@@ -1,0 +1,138 @@
+"""LightGBM: batch GBDT inference over a stored feature table.
+
+Table I: 7.1 GB.  The model is trained once (at workload-build time, by
+our from-scratch histogram GBDT in :mod:`repro.ml.gbdt`); the program
+then streams the stored feature rows, quantises them to the model's
+bins (the big volume reducer: 4 B floats become 1 B codes), traverses
+the ensemble, and reduces the predictions.  Quantisation offloads well;
+tree traversal is compute-dense and belongs on the host.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Any, Dict
+
+import numpy as np
+
+from ..lang.dataset import Dataset
+from ..lang.program import Program, Statement, constant, per_record
+from ..ml.gbdt import GBDTModel, GBDTRegressor
+from ..units import GB
+from .base import Workload, register, scaled_records
+
+#: Features per row; stored as f32 columns.
+FEATURES = 28
+RECORD_BYTES = 4.0 * FEATURES
+TABLE1_BYTES = 7.1 * GB
+FULL_RECORDS = int(TABLE1_BYTES / RECORD_BYTES)
+
+#: Ensemble shape served by the workload.
+N_TREES = 25
+MAX_DEPTH = 4
+#: Rows used to train the served model (training is one-time setup).
+_TRAIN_ROWS = 4096
+
+# Ground-truth per-record instruction counts.
+_INSTR_LOAD = 30.0
+_INSTR_QUANTISE = 40.0
+_INSTR_PREDICT = 520.0
+_INSTR_REDUCE = 4.0
+
+
+def _feature_matrix(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.normal(0.0, 1.0, size=(n, FEATURES)).astype(np.float32)
+
+
+def _target_fn(features: np.ndarray) -> np.ndarray:
+    """Synthetic ground-truth signal the model learns."""
+    return (
+        2.0 * features[:, 0]
+        - 1.5 * features[:, 1] * (features[:, 2] > 0)
+        + np.sin(features[:, 3])
+    ).astype(np.float64)
+
+
+@lru_cache(maxsize=1)
+def trained_model() -> GBDTModel:
+    """The served ensemble, trained once and cached per process."""
+    features = _feature_matrix(_TRAIN_ROWS, seed=311).astype(np.float64)
+    targets = _target_fn(features)
+    trainer = GBDTRegressor(n_trees=N_TREES, max_depth=MAX_DEPTH)
+    return trainer.fit(features, targets)
+
+
+def _build_payload(n: int, full: int) -> Dict[str, Any]:
+    return {"rows": _feature_matrix(n, seed=313)}
+
+
+def _k_load(p: Dict[str, Any]) -> Dict[str, Any]:
+    return {"rows": np.ascontiguousarray(p["rows"], dtype=np.float32)}
+
+
+def _k_quantise(p: Dict[str, Any]) -> Dict[str, Any]:
+    model = trained_model()
+    return {"codes": model.quantise(p["rows"].astype(np.float64))}
+
+
+def _k_predict(p: Dict[str, Any]) -> Dict[str, Any]:
+    model = trained_model()
+    return {"predictions": model.predict_codes(p["codes"])}
+
+
+def _k_reduce(p: Dict[str, Any]) -> Dict[str, Any]:
+    predictions = p["predictions"]
+    return {
+        "mean_prediction": float(np.mean(predictions)),
+        "p99": float(np.quantile(predictions, 0.99)),
+        "count": float(predictions.size),
+    }
+
+
+def build_program() -> Program:
+    return Program(
+        "lightgbm",
+        [
+            Statement(
+                "load_rows", _k_load,
+                instructions=per_record(_INSTR_LOAD),
+                output_bytes=per_record(RECORD_BYTES),
+                storage_bytes=per_record(RECORD_BYTES),
+                chunks=64,
+            ),
+            Statement(
+                "quantise_features", _k_quantise,
+                instructions=per_record(_INSTR_QUANTISE),
+                output_bytes=per_record(float(FEATURES)),  # 1 B per code
+            ),
+            Statement(
+                "predict_ensemble", _k_predict,
+                instructions=per_record(_INSTR_PREDICT),
+                output_bytes=per_record(8.0),
+            ),
+            Statement(
+                "reduce_predictions", _k_reduce,
+                instructions=per_record(_INSTR_REDUCE),
+                output_bytes=constant(24.0),
+            ),
+        ],
+    )
+
+
+@register("lightgbm")
+def build(scale: float = 1.0) -> Workload:
+    n = scaled_records(FULL_RECORDS, scale)
+    dataset = Dataset(
+        name="lightgbm.rows",
+        n_records=n,
+        record_bytes=RECORD_BYTES,
+        builder=_build_payload,
+    )
+    return Workload(
+        name="lightgbm",
+        description="Batch GBDT inference over a stored feature table",
+        table1_bytes=TABLE1_BYTES,
+        dataset=dataset,
+        program=build_program(),
+    )

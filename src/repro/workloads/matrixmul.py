@@ -1,0 +1,101 @@
+"""MatrixMul: batched dense tile multiplication.
+
+Table I: 6.0 GB.  The stored data is a stream of 32x32 double-precision
+tile pairs; the program packs them to f32 (halving the volume — the
+CSD-friendly step), multiplies each pair, and reduces the products to
+per-tile norms.  The GEMM itself is compute-dense, so it stays on the
+host and the workload's ISP gain is the most modest of the suite —
+exactly the paper's point that CSEs lose on compute-bound code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..lang.dataset import Dataset
+from ..lang.program import Program, Statement, constant, per_record
+from ..units import GB
+from .base import Workload, register, scaled_records
+
+#: Tile edge; one record is a pair of tiles.
+TILE = 32
+RECORD_BYTES = 2.0 * TILE * TILE * 8  # two f64 tiles
+TABLE1_BYTES = 6.0 * GB
+FULL_RECORDS = int(TABLE1_BYTES / RECORD_BYTES)
+
+# Ground-truth per-record instruction counts.
+_INSTR_PACK = RECORD_BYTES / 4   # 0.25 per stored byte
+_INSTR_GEMM = 2.0 * TILE**3      # classic dense multiply
+_INSTR_REDUCE = 1024.0
+
+
+def _build_payload(n: int, full: int) -> Dict[str, Any]:
+    rng = np.random.default_rng(401)
+    return {
+        "a_tiles": rng.normal(0.0, 1.0, size=(n, TILE, TILE)),
+        "b_tiles": rng.normal(0.0, 1.0, size=(n, TILE, TILE)),
+    }
+
+
+def _k_pack(p: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "a32": p["a_tiles"].astype(np.float32),
+        "b32": p["b_tiles"].astype(np.float32),
+    }
+
+
+def _k_gemm(p: Dict[str, Any]) -> Dict[str, Any]:
+    return {"products": np.matmul(p["a32"], p["b32"])}
+
+
+def _k_reduce(p: Dict[str, Any]) -> Dict[str, Any]:
+    norms = np.linalg.norm(p["products"], axis=(1, 2))
+    return {
+        "mean_norm": float(np.mean(norms)),
+        "max_norm": float(np.max(norms)),
+    }
+
+
+def build_program() -> Program:
+    return Program(
+        "matrixmul",
+        [
+            Statement(
+                "load_pack_tiles", _k_pack,
+                instructions=per_record(_INSTR_PACK),
+                output_bytes=per_record(RECORD_BYTES / 2),  # f64 -> f32
+                storage_bytes=per_record(RECORD_BYTES),
+                chunks=64,
+            ),
+            Statement(
+                "tile_gemm", _k_gemm,
+                instructions=per_record(_INSTR_GEMM),
+                output_bytes=per_record(TILE * TILE * 4.0),
+            ),
+            Statement(
+                "reduce_norms", _k_reduce,
+                instructions=per_record(_INSTR_REDUCE),
+                output_bytes=constant(16.0),
+            ),
+        ],
+    )
+
+
+@register("matrixmul")
+def build(scale: float = 1.0) -> Workload:
+    n = scaled_records(FULL_RECORDS, scale)
+    dataset = Dataset(
+        name="matrixmul.tiles",
+        n_records=n,
+        record_bytes=RECORD_BYTES,
+        builder=_build_payload,
+    )
+    return Workload(
+        name="matrixmul",
+        description="Batched dense tile multiplication with f32 packing",
+        table1_bytes=TABLE1_BYTES,
+        dataset=dataset,
+        program=build_program(),
+    )

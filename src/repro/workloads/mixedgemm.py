@@ -1,0 +1,161 @@
+"""MixedGEMM: interleaved sparse contraction and dense multiplication.
+
+Table I: 9.4 GB.  The stored data is a stream of block work units, each
+holding a sparse coefficient block and a dense operand pair.  The
+program alternates CSD-friendly lines (parse sparse blocks into
+compressed form; load and pack dense blocks) with compute-dense lines
+(the contraction and the block GEMM), making it the suite's clearest
+showcase of Algorithm 1 splitting *within* one program.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..lang.dataset import Dataset
+from ..lang.program import Program, Statement, constant, per_record
+from ..units import GB
+from .base import Workload, register, scaled_records
+
+#: Block geometry: sparse block is ROWS x COLS, dense pair is ROWS^2.
+ROWS = 16
+COLS = 32
+SPARSE_DENSITY = 0.12
+#: Stored bytes per record: the sparse half plus the dense pair.
+SPARSE_BYTES = ROWS * COLS * 8.0
+DENSE_BYTES = 2.0 * ROWS * ROWS * 8.0
+RECORD_BYTES = SPARSE_BYTES + DENSE_BYTES
+TABLE1_BYTES = 9.4 * GB
+FULL_RECORDS = int(TABLE1_BYTES / RECORD_BYTES)
+
+# Ground-truth per-record instruction counts.
+_INSTR_SPARSE_PARSE = 1.2 * SPARSE_BYTES
+_INSTR_CONTRACT = 1200.0
+_INSTR_DENSE_PACK = 0.8 * DENSE_BYTES
+_INSTR_GEMM = 2.0 * 2.0 * ROWS**3
+_INSTR_COMBINE = 64.0
+
+#: Compressed sparse block footprint (indices + values for the nnz).
+_CSR_BLOCK_BYTES = SPARSE_DENSITY * ROWS * COLS * 12.0 + (ROWS + 1) * 8.0
+
+
+def _dense_blocks(n: int, seed: int = 607) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.normal(0.0, 1.0, size=(n, 2, ROWS, ROWS))
+
+
+def _build_payload(n: int, full: int) -> Dict[str, Any]:
+    rng = np.random.default_rng(601)
+    blocks = rng.normal(0.0, 1.0, size=(n, ROWS, COLS))
+    mask = rng.random((n, ROWS, COLS)) < SPARSE_DENSITY
+    return {"sparse_blocks": np.where(mask, blocks, 0.0)}
+
+
+def _k_sparse_parse(p: Dict[str, Any]) -> Dict[str, Any]:
+    """Compress each sparse block to its nonzero coordinates."""
+    blocks = p["sparse_blocks"]
+    record, row, col = np.nonzero(blocks)
+    return {
+        "nnz_record": record.astype(np.int32),
+        "nnz_row": row.astype(np.int8),
+        "nnz_col": col.astype(np.int8),
+        "nnz_val": blocks[record, row, col],
+        "n_blocks": int(blocks.shape[0]),
+    }
+
+
+def _k_contract(p: Dict[str, Any]) -> Dict[str, Any]:
+    """Contract each block against a fixed coefficient vector."""
+    coefficients = np.linspace(0.5, 1.5, COLS)
+    n = p["n_blocks"]
+    contracted = np.zeros((n, ROWS))
+    weighted = p["nnz_val"] * coefficients[p["nnz_col"].astype(np.int64)]
+    np.add.at(
+        contracted,
+        (p["nnz_record"].astype(np.int64), p["nnz_row"].astype(np.int64)),
+        weighted,
+    )
+    return {"contracted": contracted}
+
+
+def _k_dense_pack(p: Dict[str, Any]) -> Dict[str, Any]:
+    """Stream the dense halves from storage and pack them to f32."""
+    n = p["contracted"].shape[0]
+    dense = _dense_blocks(n)
+    return {
+        "contracted": p["contracted"],
+        "dense32": dense.astype(np.float32),
+    }
+
+
+def _k_gemm(p: Dict[str, Any]) -> Dict[str, Any]:
+    a = p["dense32"][:, 0]
+    b = p["dense32"][:, 1]
+    products = np.matmul(a, b)
+    scaled = products * p["contracted"][:, :, None].astype(np.float32)
+    return {"mixed": scaled}
+
+
+def _k_combine(p: Dict[str, Any]) -> Dict[str, Any]:
+    mixed = p["mixed"]
+    return {
+        "frobenius": float(np.sqrt(np.sum(mixed.astype(np.float64) ** 2))),
+        "blocks": float(mixed.shape[0]),
+    }
+
+
+def build_program() -> Program:
+    return Program(
+        "mixedgemm",
+        [
+            Statement(
+                "parse_sparse_blocks", _k_sparse_parse,
+                instructions=per_record(_INSTR_SPARSE_PARSE),
+                output_bytes=per_record(_CSR_BLOCK_BYTES),
+                storage_bytes=per_record(SPARSE_BYTES),
+                chunks=64,
+            ),
+            Statement(
+                "contract_blocks", _k_contract,
+                instructions=per_record(_INSTR_CONTRACT),
+                output_bytes=per_record(ROWS * 8.0),
+            ),
+            Statement(
+                "load_pack_dense", _k_dense_pack,
+                instructions=per_record(_INSTR_DENSE_PACK),
+                output_bytes=per_record(ROWS * 8.0 + DENSE_BYTES / 2),
+                storage_bytes=per_record(DENSE_BYTES),
+                chunks=64,
+            ),
+            Statement(
+                "block_gemm", _k_gemm,
+                instructions=per_record(_INSTR_GEMM),
+                output_bytes=per_record(ROWS * ROWS * 4.0),
+            ),
+            Statement(
+                "combine_results", _k_combine,
+                instructions=per_record(_INSTR_COMBINE),
+                output_bytes=constant(16.0),
+            ),
+        ],
+    )
+
+
+@register("mixedgemm")
+def build(scale: float = 1.0) -> Workload:
+    n = scaled_records(FULL_RECORDS, scale)
+    dataset = Dataset(
+        name="mixedgemm.blocks",
+        n_records=n,
+        record_bytes=RECORD_BYTES,
+        builder=_build_payload,
+    )
+    return Workload(
+        name="mixedgemm",
+        description="Interleaved sparse contraction and dense block GEMM",
+        table1_bytes=TABLE1_BYTES,
+        dataset=dataset,
+        program=build_program(),
+    )

@@ -1,0 +1,119 @@
+"""Reference implementations of the paper's TPC-H queries.
+
+These compute the query answers directly (no program model, no
+simulator) and serve two purposes: the workloads' kernels are checked
+against them, and the examples print their results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .engine import Table, filter_rows, group_aggregate, hash_join
+from .schema import date_index
+
+
+def q1_reference(lineitem: Table) -> Table:
+    """Q1: pricing summary report.
+
+    Filter ``shipdate <= 1998-12-01 - 90 days`` (~98% selectivity),
+    group by (returnflag, linestatus), compute the six aggregates.
+    """
+    cutoff = date_index(1998, 12, 1) - 90
+    kept = filter_rows(lineitem, lineitem["shipdate"] <= cutoff)
+    disc_price = kept["extendedprice"] * (1.0 - kept["discount"])
+    charge = disc_price * (1.0 + kept["tax"])
+    table = dict(kept)
+    table["disc_price"] = disc_price
+    table["charge"] = charge
+    return group_aggregate(
+        table,
+        keys=("returnflag", "linestatus"),
+        aggregates={
+            "sum_qty": ("quantity", np.sum),
+            "sum_base_price": ("extendedprice", np.sum),
+            "sum_disc_price": ("disc_price", np.sum),
+            "sum_charge": ("charge", np.sum),
+            "avg_qty": ("quantity", np.mean),
+            "avg_price": ("extendedprice", np.mean),
+            "avg_disc": ("discount", np.mean),
+            "count_order": ("quantity", lambda v: np.int64(v.size)),
+        },
+    )
+
+
+def q6_reference(lineitem: Table) -> float:
+    """Q6: forecasting revenue change.
+
+    Filter one ship year, discount in [0.05, 0.07], quantity < 24;
+    return ``sum(extendedprice * discount)``.
+    """
+    start = date_index(1994, 1, 1)
+    end = date_index(1995, 1, 1)
+    mask = (
+        (lineitem["shipdate"] >= start)
+        & (lineitem["shipdate"] < end)
+        & (lineitem["discount"] >= 0.05 - 1e-9)
+        & (lineitem["discount"] <= 0.07 + 1e-9)
+        & (lineitem["quantity"] < 24)
+    )
+    kept = filter_rows(lineitem, mask)
+    return float(np.sum(kept["extendedprice"] * kept["discount"]))
+
+
+def q14_reference(lineitem: Table, part: Table) -> float:
+    """Q14: promotion effect.
+
+    Filter one ship month, join ``part``, and return
+    ``100 * promo revenue / total revenue`` (promo = p_type PROMO%).
+    """
+    start = date_index(1995, 9, 1)
+    end = date_index(1995, 10, 1)
+    month = filter_rows(
+        lineitem,
+        (lineitem["shipdate"] >= start) & (lineitem["shipdate"] < end),
+    )
+    joined = hash_join(
+        month, part,
+        left_key="partkey", right_key="p_partkey",
+        right_columns=("p_is_promo",),
+    )
+    revenue = joined["extendedprice"] * (1.0 - joined["discount"])
+    total = float(np.sum(revenue))
+    if total == 0.0:
+        return 0.0
+    promo = float(np.sum(revenue[joined["p_is_promo"]]))
+    return 100.0 * promo / total
+
+
+def q6_selectivity(lineitem: Table) -> float:
+    """Fraction of rows Q6's predicate keeps (for data-reduction checks)."""
+    start = date_index(1994, 1, 1)
+    end = date_index(1995, 1, 1)
+    mask = (
+        (lineitem["shipdate"] >= start)
+        & (lineitem["shipdate"] < end)
+        & (lineitem["discount"] >= 0.05 - 1e-9)
+        & (lineitem["discount"] <= 0.07 + 1e-9)
+        & (lineitem["quantity"] < 24)
+    )
+    return float(np.mean(mask))
+
+
+def summarize(table: Dict[str, np.ndarray]) -> str:
+    """Small pretty-printer for grouped results (examples use it)."""
+    names = list(table)
+    rows = len(next(iter(table.values())))
+    lines = ["  ".join(f"{name:>14}" for name in names)]
+    for i in range(rows):
+        cells = []
+        for name in names:
+            value = table[name][i]
+            if isinstance(value, (np.floating, float)):
+                cells.append(f"{float(value):>14.2f}")
+            else:
+                cells.append(f"{value!s:>14}")
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

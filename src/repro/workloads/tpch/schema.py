@@ -1,0 +1,39 @@
+"""Schema constants for the mini TPC-H tables.
+
+Dates are stored as integer day offsets from 1992-01-01 (the start of
+the TPC-H date range); helper :func:`date_index` converts a calendar
+date.  Row widths model the on-disk footprint of the columns each
+query touches, matching the .tbl-file scale the paper's data sizes
+imply.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from ...errors import WorkloadError
+
+#: TPC-H date epoch.
+EPOCH = datetime.date(1992, 1, 1)
+#: Last shipdate in the population (orders end 1998-08-02 + 122 days).
+MAX_DATE_INDEX = (datetime.date(1998, 12, 1) - EPOCH).days
+
+#: Stored bytes per lineitem row (the columns our queries scan:
+#: partkey 8, quantity 8, extendedprice 8, discount 8, tax 8,
+#: returnflag 1, linestatus 1, shipdate 4, plus record framing).
+LINEITEM_ROW_BYTES = 48
+
+#: Stored bytes per part row (partkey 8, type tag 4, framing).
+PART_ROW_BYTES = 16
+
+#: Distinct return flags / line statuses (Q1 group-by space).
+RETURN_FLAGS = ("A", "N", "R")
+LINE_STATUSES = ("F", "O")
+
+
+def date_index(year: int, month: int, day: int) -> int:
+    """Day offset of a calendar date from the TPC-H epoch."""
+    delta = (datetime.date(year, month, day) - EPOCH).days
+    if delta < 0:
+        raise WorkloadError(f"{year}-{month:02d}-{day:02d} precedes the TPC-H epoch")
+    return delta

@@ -1,0 +1,259 @@
+"""TPC-H Q1, Q6 and Q14 as ActivePy workloads.
+
+Table I: 6.9 GB, 6.9 GB and 7.1 GB.  Each query is a short unannotated
+program over the synthetic lineitem (and, for Q14, part) population.
+The scan-and-filter lines fold predicate evaluation into the scan —
+the shape every in-storage query engine (Summarizer, Biscuit, smart
+SSDs) exploits — so their output volume is the predicate's selectivity
+times the projected row width, and the paper's Equation 1 rewards
+offloading them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..lang.dataset import Dataset
+from ..lang.program import Program, Statement, constant, per_record
+from ..units import GB
+from .base import Workload, register, scaled_records
+from .tpch.datagen import LINEITEM_PER_PART, generate_lineitem, generate_part
+from .tpch.engine import filter_rows, group_aggregate, hash_join
+from .tpch.schema import LINEITEM_ROW_BYTES, MAX_DATE_INDEX, date_index
+
+# --- selectivities implied by the datagen distributions -----------------
+
+#: Q1: shipdate <= 1998-12-01 - 90 days over the uniform date range.
+Q1_SELECTIVITY = (date_index(1998, 12, 1) - 90) / (MAX_DATE_INDEX + 1)
+#: Q6: one ship year x discount band x quantity cut.
+Q6_SELECTIVITY = (365 / (MAX_DATE_INDEX + 1)) * (3 / 11) * (23 / 50)
+#: Q14: one ship month.
+Q14_SELECTIVITY = 30 / (MAX_DATE_INDEX + 1)
+
+#: Projected bytes per kept row (the columns each query carries on).
+_Q1_ROW_OUT = 22.0   # extendedprice f64, three f32 decimals, 2 flags
+_Q6_ROW_OUT = 16.0   # extendedprice + discount
+_Q14_ROW_OUT = 24.0  # partkey + extendedprice + discount
+
+_Q1_LINEITEM_BYTES = 6.9 * GB
+_Q6_LINEITEM_BYTES = 6.9 * GB
+#: Q14 stores lineitem plus the part table within its 7.1 GB budget.
+_Q14_TABLE_BYTES = 7.1 * GB
+_PART_ROW_STORED = 16.0
+_Q14_ROW_BYTES = LINEITEM_ROW_BYTES + _PART_ROW_STORED / LINEITEM_PER_PART
+
+
+def _lineitem_payload(n: int, full: int) -> Dict[str, Any]:
+    return dict(generate_lineitem(n))
+
+
+# --- Q1 ------------------------------------------------------------------
+
+def _k_q1_scan(p: Dict[str, Any]) -> Dict[str, Any]:
+    """Scan + filter + pack: decimals narrow to f32 in the projection."""
+    cutoff = date_index(1998, 12, 1) - 90
+    kept = filter_rows(p, p["shipdate"] <= cutoff)
+    return {
+        "quantity": kept["quantity"].astype(np.float32),
+        "extendedprice": kept["extendedprice"],
+        "discount": kept["discount"].astype(np.float32),
+        "tax": kept["tax"].astype(np.float32),
+        "returnflag": kept["returnflag"],
+        "linestatus": kept["linestatus"],
+    }
+
+
+def _k_q1_aggregate(p: Dict[str, Any]) -> Dict[str, Any]:
+    disc_price = p["extendedprice"] * (1.0 - p["discount"])
+    table = dict(p)
+    table["disc_price"] = disc_price
+    table["charge"] = disc_price * (1.0 + p["tax"])
+    grouped = group_aggregate(
+        table,
+        keys=("returnflag", "linestatus"),
+        aggregates={
+            "sum_qty": ("quantity", np.sum),
+            "sum_base_price": ("extendedprice", np.sum),
+            "sum_disc_price": ("disc_price", np.sum),
+            "sum_charge": ("charge", np.sum),
+            "avg_qty": ("quantity", np.mean),
+            "avg_price": ("extendedprice", np.mean),
+            "avg_disc": ("discount", np.mean),
+            "count_order": ("quantity", lambda v: np.float64(v.size)),
+        },
+    )
+    return {name: np.asarray(column) for name, column in grouped.items()}
+
+
+def _build_q1() -> Program:
+    return Program(
+        "tpch_q1",
+        [
+            Statement(
+                "scan_filter_shipdate", _k_q1_scan,
+                instructions=per_record(110.0),
+                output_bytes=per_record(Q1_SELECTIVITY * _Q1_ROW_OUT),
+                storage_bytes=per_record(float(LINEITEM_ROW_BYTES)),
+                chunks=64,
+            ),
+            Statement(
+                "group_aggregate", _k_q1_aggregate,
+                instructions=per_record(Q1_SELECTIVITY * 18.0),
+                output_bytes=constant(640.0),  # 6 groups x 10 columns
+            ),
+        ],
+    )
+
+
+# --- Q6 ------------------------------------------------------------------
+
+def _k_q6_scan(p: Dict[str, Any]) -> Dict[str, Any]:
+    start = date_index(1994, 1, 1)
+    end = date_index(1995, 1, 1)
+    mask = (
+        (p["shipdate"] >= start)
+        & (p["shipdate"] < end)
+        & (p["discount"] >= 0.05 - 1e-9)
+        & (p["discount"] <= 0.07 + 1e-9)
+        & (p["quantity"] < 24)
+    )
+    return {
+        "extendedprice": p["extendedprice"][mask],
+        "discount": p["discount"][mask],
+    }
+
+
+def _k_q6_sum(p: Dict[str, Any]) -> Dict[str, Any]:
+    return {"revenue": float(np.sum(p["extendedprice"] * p["discount"]))}
+
+
+def _build_q6() -> Program:
+    return Program(
+        "tpch_q6",
+        [
+            Statement(
+                "scan_filter_q6", _k_q6_scan,
+                instructions=per_record(100.0),
+                output_bytes=per_record(Q6_SELECTIVITY * _Q6_ROW_OUT),
+                storage_bytes=per_record(float(LINEITEM_ROW_BYTES)),
+                chunks=64,
+            ),
+            Statement(
+                "revenue_sum", _k_q6_sum,
+                instructions=per_record(Q6_SELECTIVITY * 4.0),
+                output_bytes=constant(8.0),
+            ),
+        ],
+    )
+
+
+# --- Q14 ------------------------------------------------------------------
+
+def _k_q14_scan(p: Dict[str, Any]) -> Dict[str, Any]:
+    start = date_index(1995, 9, 1)
+    end = date_index(1995, 10, 1)
+    mask = (p["shipdate"] >= start) & (p["shipdate"] < end)
+    return {
+        "partkey": p["partkey"][mask],
+        "extendedprice": p["extendedprice"][mask],
+        "discount": p["discount"][mask],
+        "rows_scanned": float(p["shipdate"].size),
+    }
+
+
+def _k_q14_join(p: Dict[str, Any]) -> Dict[str, Any]:
+    # Reading the part table: its content is keyed off the scanned
+    # population size, exactly as the datagen laid it out.
+    n_parts = max(1, int(p["rows_scanned"]) // LINEITEM_PER_PART)
+    part = generate_part(n_parts)
+    month = {
+        "partkey": p["partkey"],
+        "extendedprice": p["extendedprice"],
+        "discount": p["discount"],
+    }
+    joined = hash_join(
+        month, part,
+        left_key="partkey", right_key="p_partkey",
+        right_columns=("p_is_promo",),
+    )
+    return {
+        "revenue": joined["extendedprice"] * (1.0 - joined["discount"]),
+        "is_promo": joined["p_is_promo"],
+    }
+
+
+def _k_q14_ratio(p: Dict[str, Any]) -> Dict[str, Any]:
+    total = float(np.sum(p["revenue"]))
+    promo = float(np.sum(p["revenue"][p["is_promo"]]))
+    return {"promo_revenue_pct": 100.0 * promo / total if total else 0.0}
+
+
+def _q14_payload(n: int, full: int) -> Dict[str, Any]:
+    return dict(generate_lineitem(n))
+
+
+def _build_q14() -> Program:
+    return Program(
+        "tpch_q14",
+        [
+            Statement(
+                "scan_filter_month", _k_q14_scan,
+                instructions=per_record(105.0),
+                output_bytes=per_record(Q14_SELECTIVITY * _Q14_ROW_OUT),
+                storage_bytes=per_record(float(LINEITEM_ROW_BYTES)),
+                chunks=64,
+            ),
+            Statement(
+                "join_part", _k_q14_join,
+                instructions=per_record(1.2),
+                output_bytes=per_record(Q14_SELECTIVITY * 9.0),
+                storage_bytes=per_record(_PART_ROW_STORED / LINEITEM_PER_PART),
+            ),
+            Statement(
+                "promo_ratio", _k_q14_ratio,
+                instructions=per_record(Q14_SELECTIVITY * 2.0),
+                output_bytes=constant(8.0),
+            ),
+        ],
+    )
+
+
+# --- registration ----------------------------------------------------------
+
+def _make_builder(name, description, table_bytes, row_bytes, program_builder,
+                  payload_builder):
+    full_records = int(table_bytes / row_bytes)
+
+    def build(scale: float = 1.0) -> Workload:
+        n = scaled_records(full_records, scale)
+        dataset = Dataset(
+            name=f"{name}.lineitem",
+            n_records=n,
+            record_bytes=row_bytes,
+            builder=payload_builder,
+        )
+        return Workload(
+            name=name,
+            description=description,
+            table1_bytes=table_bytes,
+            dataset=dataset,
+            program=program_builder(),
+        )
+
+    return build
+
+
+register("tpch_q1")(_make_builder(
+    "tpch_q1", "TPC-H Q1 pricing summary over lineitem",
+    _Q1_LINEITEM_BYTES, float(LINEITEM_ROW_BYTES), _build_q1, _lineitem_payload,
+))
+register("tpch_q6")(_make_builder(
+    "tpch_q6", "TPC-H Q6 forecasting revenue change",
+    _Q6_LINEITEM_BYTES, float(LINEITEM_ROW_BYTES), _build_q6, _lineitem_payload,
+))
+register("tpch_q14")(_make_builder(
+    "tpch_q14", "TPC-H Q14 promotion effect (lineitem join part)",
+    _Q14_TABLE_BYTES, _Q14_ROW_BYTES, _build_q14, _q14_payload,
+))

@@ -1,0 +1,78 @@
+"""Analysis metrics and report rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    geometric_mean,
+    relative_error,
+    slowdown_fraction,
+    speedup,
+)
+from repro.analysis.report import ascii_bar_chart, format_table
+from repro.errors import ReproError
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(10.0, 5.0) == 2.0
+
+    def test_speedup_validates(self):
+        with pytest.raises(ReproError):
+            speedup(0.0, 1.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_validates(self):
+        with pytest.raises(ReproError):
+            geometric_mean([])
+        with pytest.raises(ReproError):
+            geometric_mean([1.0, 0.0])
+
+    def test_relative_error(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(1.0, 0.0) == math.inf
+
+    def test_slowdown_fraction(self):
+        # Paper style: "67% performance loss" when 3x slower than base.
+        assert slowdown_fraction(1.0, 3.0) == pytest.approx(2 / 3)
+        assert slowdown_fraction(1.0, 1.0) == 0.0
+
+
+class TestFormatTable:
+    def test_aligned_columns(self):
+        text = format_table(
+            ["name", "speedup"],
+            [["tpch_q6", 1.337], ["kmeans", 1.25]],
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "tpch_q6" in lines[2]
+        assert "1.337" in lines[2]
+        widths = {len(line) for line in lines}
+        assert len(widths) <= 2  # header rule and rows line up
+
+    def test_row_width_checked(self):
+        with pytest.raises(ReproError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestAsciiBarChart:
+    def test_renders_values_and_reference(self):
+        chart = ascii_bar_chart(["q6", "q1"], [1.4, 0.9], reference=1.0)
+        assert "1.400x" in chart and "0.900x" in chart
+        assert "#" in chart
+
+    def test_label_value_mismatch(self):
+        with pytest.raises(ReproError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert ascii_bar_chart([], []) == "(no data)"

@@ -1,0 +1,100 @@
+"""Program validation pre-flight checks."""
+
+import numpy as np
+import pytest
+
+from repro.lang.checks import validate_program
+from repro.lang.program import Program, Statement, constant, per_record
+from repro.workloads import get_workload
+
+from .conftest import make_toy_dataset, make_toy_program
+
+
+class TestStaticChecks:
+    def test_clean_program_passes(self):
+        report = validate_program(make_toy_program())
+        assert report.ok
+        assert report.issues == []
+
+    def test_negative_cost_law_is_an_error(self):
+        bad = Program("bad", [
+            Statement("neg", lambda p: p,
+                      instructions=lambda n: -n,
+                      output_bytes=constant(8.0)),
+        ])
+        report = validate_program(bad)
+        assert not report.ok
+        assert "negative" in str(report.errors[0])
+
+    def test_decreasing_cost_law_is_an_error(self):
+        bad = Program("bad", [
+            Statement("shrinking", lambda p: p,
+                      instructions=lambda n: 1e9 / n,
+                      output_bytes=constant(8.0)),
+        ])
+        report = validate_program(bad)
+        assert not report.ok
+        assert "decreases" in str(report.errors[0])
+
+    def test_raising_cost_law_is_an_error(self):
+        def explosive(n):
+            raise ValueError("boom")
+
+        bad = Program("bad", [
+            Statement("boom", lambda p: p,
+                      instructions=explosive, output_bytes=constant(8.0)),
+        ])
+        report = validate_program(bad)
+        assert not report.ok
+        assert "raised" in str(report.errors[0])
+
+
+class TestDynamicChecks:
+    def test_toy_program_validates_against_its_dataset(self):
+        report = validate_program(make_toy_program(), make_toy_dataset())
+        assert report.ok, report.render()
+        assert not report.warnings
+
+    def test_kernel_crash_is_an_error(self):
+        def boom(p):
+            raise RuntimeError("native crash")
+
+        bad = Program("bad", [
+            Statement("boom", boom, per_record(1), constant(8.0)),
+        ])
+        report = validate_program(bad, make_toy_dataset())
+        assert not report.ok
+        assert "kernel failed" in str(report.errors[0])
+
+    def test_volume_mismatch_is_a_warning(self):
+        lying = Program("lying", [
+            Statement(
+                "scan",
+                lambda p: {"y": p["x"]},  # really 8 B/record
+                per_record(10),
+                output_bytes=per_record(100.0),  # claims 100 B/record
+                storage_bytes=per_record(64.0),
+            ),
+        ])
+        report = validate_program(lying, make_toy_dataset())
+        assert report.ok  # warnings do not fail validation
+        assert report.warnings
+        assert "deviates" in str(report.warnings[0])
+
+    def test_sparse_workload_flags_its_known_bias(self):
+        # PageRank's CSR line legitimately measures bigger than its
+        # population law on prefix samples — the validator surfaces it.
+        workload = get_workload("pagerank")
+        report = validate_program(workload.program, workload.dataset)
+        assert report.ok
+        assert any("build_csr" == issue.line for issue in report.warnings)
+
+    def test_all_builtin_workloads_have_no_errors(self):
+        for name in ("blackscholes", "tpch_q6", "lightgbm", "matrixmul"):
+            workload = get_workload(name)
+            report = validate_program(workload.program, workload.dataset)
+            assert report.ok, f"{name}: {report.render()}"
+
+    def test_render_summarises(self):
+        report = validate_program(make_toy_program(), make_toy_dataset())
+        assert "ok" in report.render()

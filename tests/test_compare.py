@@ -1,0 +1,68 @@
+"""Result-diffing utility."""
+
+import pytest
+
+from repro.analysis.compare import Change, diff_results, max_relative_change
+from repro.errors import ReproError
+
+
+class TestDiffResults:
+    def test_no_change(self):
+        tree = {"a": 1.0, "rows": [{"x": 2.0}]}
+        assert diff_results(tree, tree) == []
+
+    def test_detects_moved_leaf(self):
+        before = {"geomean": 1.33, "rows": [{"speedup": 1.4}]}
+        after = {"geomean": 1.40, "rows": [{"speedup": 1.4}]}
+        changes = diff_results(before, after)
+        assert len(changes) == 1
+        assert changes[0].path == "geomean"
+        assert changes[0].relative == pytest.approx(0.0526, rel=0.01)
+
+    def test_threshold_filters_noise(self):
+        before = {"a": 1.000, "b": 1.0}
+        after = {"a": 1.001, "b": 2.0}
+        changes = diff_results(before, after, threshold=0.05)
+        assert [c.path for c in changes] == ["b"]
+
+    def test_sorted_by_magnitude(self):
+        before = {"a": 1.0, "b": 1.0}
+        after = {"a": 1.1, "b": 3.0}
+        changes = diff_results(before, after)
+        assert changes[0].path == "b"
+
+    def test_structure_mismatch_rejected(self):
+        with pytest.raises(ReproError, match="differ"):
+            diff_results({"a": 1.0}, {"b": 1.0})
+
+    def test_strings_and_bools_ignored(self):
+        before = {"name": "x", "flag": True, "v": 1.0}
+        after = {"name": "y", "flag": False, "v": 1.0}
+        assert diff_results(before, after) == []
+
+    def test_zero_to_nonzero_is_infinite(self):
+        changes = diff_results({"v": 0.0}, {"v": 1.0})
+        assert changes[0].relative == float("inf")
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ReproError):
+            diff_results({}, {}, threshold=-1)
+
+    def test_max_relative_change(self):
+        before = {"a": 2.0, "b": 10.0}
+        after = {"a": 2.2, "b": 10.0}
+        assert max_relative_change(before, after) == pytest.approx(0.1)
+        assert max_relative_change(before, before) == 0.0
+
+    def test_change_str(self):
+        change = Change(path="geomean", before=1.33, after=1.40)
+        assert "geomean" in str(change) and "%" in str(change)
+
+    def test_round_trip_with_export(self):
+        from repro.analysis import export
+        from repro.analysis.experiments import Table1Row
+        import json
+
+        rows = [Table1Row("a", 1.0, 1.0, 2)]
+        tree = json.loads(export.dumps(rows))
+        assert diff_results(tree, tree) == []

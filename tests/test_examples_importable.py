@@ -1,0 +1,48 @@
+"""Every example must at least import and expose a main().
+
+Full example runs take minutes of wall clock (they use paper-scale
+inputs); importing them catches broken APIs without the cost.  The
+examples' behaviour itself is covered by the experiment tests, which
+exercise the same drivers.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_module(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_expected_examples_present(self):
+        names = {path.stem for path in EXAMPLE_FILES}
+        assert {
+            "quickstart", "tpch_analytics", "graph_analytics",
+            "adaptive_migration", "multi_tenant", "when_does_isp_pay",
+            "plain_python",
+        } <= names
+
+    @pytest.mark.parametrize(
+        "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+    )
+    def test_imports_and_has_main(self, path):
+        module = load_module(path)
+        assert callable(getattr(module, "main", None)), (
+            f"{path.name} must expose a main()"
+        )
+
+    @pytest.mark.parametrize(
+        "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+    )
+    def test_has_module_docstring_with_run_instructions(self, path):
+        module = load_module(path)
+        assert module.__doc__ and "Run::" in module.__doc__

@@ -1,0 +1,138 @@
+"""Loop folding in the plain-Python frontend, plus liveness properties."""
+
+import ast
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import (
+    FrontendError,
+    live_after_each,
+    names_read,
+    program_from_function,
+)
+
+
+def smooth(signal):
+    x = signal * 1.0
+    for _ in range(8):
+        x = (x + np.roll(x, 1)) * 0.5
+    return float(np.sum(x))
+
+
+def _signal_payload(n, full=None):
+    rng = np.random.default_rng(61)
+    return {"signal": rng.normal(size=n)}
+
+
+class TestLoopFolding:
+    def test_loop_becomes_one_line(self):
+        program = program_from_function(smooth, record_bytes=8.0)
+        assert len(program) == 3
+        assert program[1].name == "L1_x_loop"
+
+    def test_trip_count_multiplies_instructions(self):
+        looped = program_from_function(smooth, record_bytes=8.0)
+
+        def one_pass(signal):
+            x = signal * 1.0
+            x = (x + np.roll(x, 1)) * 0.5
+            return float(np.sum(x))
+
+        single = program_from_function(one_pass, record_bytes=8.0)
+        assert looped[1].instructions(1000) == pytest.approx(
+            8 * single[1].instructions(1000)
+        )
+
+    def test_trips_become_dynamic_instances(self):
+        program = program_from_function(smooth, record_bytes=8.0)
+        assert program[1].chunks == 8
+
+    def test_folded_loop_computes_correctly(self):
+        program = program_from_function(smooth, record_bytes=8.0)
+        payload = _signal_payload(300)
+        result = program.run_kernels(dict(payload))
+        assert result["__result__"] == pytest.approx(
+            smooth(payload["signal"])
+        )
+
+    def test_dynamic_trip_count_rejected(self):
+        def dynamic(data, k):
+            x = data
+            for _ in range(int(k)):
+                x = x * 2
+            return float(x.sum())
+
+        with pytest.raises(FrontendError, match="constant"):
+            program_from_function(dynamic, record_bytes=8.0)
+
+    def test_nested_loops_rejected(self):
+        def nested(data):
+            x = data
+            for _ in range(3):
+                for _ in range(3):
+                    x = x * 2
+            return float(x.sum())
+
+        with pytest.raises(FrontendError, match="straight-line"):
+            program_from_function(nested, record_bytes=8.0)
+
+    def test_branch_inside_loop_rejected(self):
+        def branching(data):
+            x = data
+            for _ in range(3):
+                if x.sum() > 0:
+                    x = x * 2
+            return float(x.sum())
+
+        with pytest.raises(FrontendError):
+            program_from_function(branching, record_bytes=8.0)
+
+
+# --- property-based liveness checks --------------------------------------
+
+_VARS = "abcdef"
+
+
+@st.composite
+def straight_line_bodies(draw):
+    """Random chains of 'x = y + z' statements ending in a return."""
+    k = draw(st.integers(min_value=1, max_value=8))
+    lines = []
+    defined = {"a"}
+    for i in range(k):
+        target = draw(st.sampled_from(_VARS))
+        lhs = draw(st.sampled_from(sorted(defined)))
+        rhs = draw(st.sampled_from(sorted(defined)))
+        lines.append(f"{target} = {lhs} + {rhs}")
+        defined.add(target)
+    lines.append(f"__out__ = {draw(st.sampled_from(sorted(defined)))}")
+    return lines
+
+
+@given(straight_line_bodies())
+@settings(max_examples=80, deadline=None)
+def test_liveness_matches_brute_force(lines):
+    body = ast.parse("\n".join(lines)).body
+    live = live_after_each(body)
+    for index in range(len(body)):
+        # Brute force: a name is live after line i if some later line
+        # reads it before (re)writing it.
+        expected = set()
+        killed = set()
+        for later in body[index + 1:]:
+            expected |= names_read(later) - killed
+            from repro.frontend import names_written
+
+            killed |= names_written(later)
+        assert live[index] == expected
+
+
+@given(straight_line_bodies())
+@settings(max_examples=40, deadline=None)
+def test_liveness_never_exceeds_defined_names(lines):
+    body = ast.parse("\n".join(lines)).body
+    for live in live_after_each(body):
+        assert live <= set(_VARS) | {"a", "__out__"}

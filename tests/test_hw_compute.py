@@ -1,0 +1,93 @@
+"""Compute-unit models: timing, availability, performance counters."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw.compute import ComputeUnit, PerfCounters
+from repro.sim.clock import SimClock
+
+
+def make_unit(ips: float = 8e9, clock_hz: float = 4e9) -> ComputeUnit:
+    return ComputeUnit("host", ips=ips, clock=SimClock(), clock_hz=clock_hz)
+
+
+class TestExecution:
+    def test_execution_time(self):
+        unit = make_unit(ips=2e9)
+        assert unit.execution_time(1e9) == pytest.approx(0.5)
+
+    def test_execute_advances_clock(self):
+        unit = make_unit(ips=4e9)
+        elapsed = unit.execute(2e9)
+        assert elapsed == pytest.approx(0.5)
+        assert unit.clock.now == pytest.approx(0.5)
+
+    def test_zero_instructions(self):
+        unit = make_unit()
+        assert unit.execute(0) == 0.0
+
+    def test_negative_instructions_rejected(self):
+        with pytest.raises(HardwareError):
+            make_unit().execute(-1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(HardwareError):
+            ComputeUnit("bad", ips=0, clock=SimClock())
+        with pytest.raises(HardwareError):
+            ComputeUnit("bad", ips=1e9, clock=SimClock(), clock_hz=-1)
+
+
+class TestAvailability:
+    def test_throttling_stretches_time(self):
+        unit = make_unit(ips=4e9)
+        unit.set_availability(0.5)
+        assert unit.execution_time(2e9) == pytest.approx(1.0)
+
+    def test_effective_ips(self):
+        unit = make_unit(ips=4e9)
+        unit.set_availability(0.25)
+        assert unit.effective_ips == pytest.approx(1e9)
+
+    def test_bounds(self):
+        unit = make_unit()
+        with pytest.raises(HardwareError):
+            unit.set_availability(0.0)
+        with pytest.raises(HardwareError):
+            unit.set_availability(1.5)
+
+    def test_full_availability_is_default(self):
+        assert make_unit().availability == 1.0
+
+
+class TestPerfCounters:
+    def test_ipc_at_full_availability(self):
+        unit = make_unit(ips=8e9, clock_hz=4e9)
+        unit.execute(8e9)
+        assert unit.counters.ipc() == pytest.approx(2.0)
+        assert unit.counters.ipc() == pytest.approx(unit.expected_ipc())
+
+    def test_ipc_degrades_with_availability(self):
+        # Contention burns wall cycles without retiring foreground
+        # instructions: the observed IPC is the congestion signal the
+        # ActivePy monitor keys on (paper III-D).
+        unit = make_unit(ips=8e9, clock_hz=4e9)
+        unit.set_availability(0.5)
+        unit.execute(8e9)
+        assert unit.counters.ipc() == pytest.approx(unit.expected_ipc() * 0.5)
+
+    def test_counters_accumulate(self):
+        unit = make_unit()
+        unit.execute(1e9)
+        unit.execute(1e9)
+        assert unit.counters.retired_instructions == pytest.approx(2e9)
+        assert unit.counters.tasks_completed == 2
+
+    def test_reset(self):
+        unit = make_unit()
+        unit.execute(1e9)
+        unit.counters.reset()
+        assert unit.counters.retired_instructions == 0
+        assert unit.counters.ipc() == 0.0
+
+    def test_fresh_counters_ipc_zero(self):
+        assert PerfCounters().ipc() == 0.0

@@ -1,0 +1,72 @@
+"""Interconnect link: transfer timing and traffic accounting."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw.interconnect import Link
+from repro.sim.clock import SimClock
+
+
+def make_link(bandwidth: float = 3e9, latency: float = 0.0) -> Link:
+    return Link("test", bandwidth=bandwidth, clock=SimClock(), latency_s=latency)
+
+
+class TestTransferTime:
+    def test_pure_bandwidth(self):
+        link = make_link(bandwidth=3e9)
+        assert link.transfer_time(6e9) == pytest.approx(2.0)
+
+    def test_latency_added_once(self):
+        link = make_link(bandwidth=1e9, latency=1e-3)
+        assert link.transfer_time(1e9) == pytest.approx(1.001)
+
+    def test_zero_bytes_free(self):
+        link = make_link(latency=1e-3)
+        assert link.transfer_time(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(HardwareError):
+            make_link().transfer_time(-1)
+
+
+class TestTransfer:
+    def test_advances_clock(self):
+        link = make_link(bandwidth=2e9)
+        link.transfer(4e9)
+        assert link.clock.now == pytest.approx(2.0)
+
+    def test_accumulates_stats(self):
+        link = make_link()
+        link.transfer(1e9)
+        link.transfer(2e9)
+        assert link.bytes_transferred == pytest.approx(3e9)
+        assert link.transfers == 2
+
+    def test_zero_transfer_not_counted(self):
+        link = make_link()
+        link.transfer(0)
+        assert link.transfers == 0
+        assert link.clock.now == 0.0
+
+    def test_message_costs_latency_only(self):
+        link = make_link(latency=5e-6)
+        link.message()
+        assert link.clock.now == pytest.approx(5e-6)
+        assert link.bytes_transferred == 0
+
+    def test_reset_stats(self):
+        link = make_link()
+        link.transfer(1e9)
+        link.reset_stats()
+        assert link.bytes_transferred == 0
+        assert link.transfers == 0
+
+
+class TestValidation:
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(HardwareError):
+            make_link(bandwidth=0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(HardwareError):
+            make_link(latency=-1)

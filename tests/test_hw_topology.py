@@ -1,0 +1,46 @@
+"""Machine topology wiring."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.hw.topology import build_machine
+
+
+class TestBuildMachine:
+    def test_shares_one_clock(self, machine):
+        machine.host.execute(8e9)  # 1 s at default 8 GIPS
+        assert machine.csd.cse.clock.now == machine.host.clock.now
+        assert machine.host_storage_link.clock.now == machine.now
+
+    def test_links_use_config_bandwidths(self, config, machine):
+        assert machine.host_storage_link.bandwidth == config.bw_host_storage
+        assert machine.d2h_link.bandwidth == config.bw_d2h
+        assert machine.remote_access_link.bandwidth == config.bw_remote_access
+        assert machine.csd.internal_link.bandwidth == config.bw_internal
+
+    def test_unit_named(self, machine):
+        assert machine.unit_named("host") is machine.host
+        assert machine.unit_named("csd") is machine.csd.cse
+        with pytest.raises(KeyError):
+            machine.unit_named("gpu")
+
+    def test_address_space_has_host_and_device_regions(self, machine):
+        locations = {region.location for region in machine.space.regions}
+        assert locations == {"host", "csd"}
+
+    def test_bar_window_mapped_into_shared_space(self, machine):
+        region = machine.space.region_named("csd.bar")
+        assert region.location == "csd"
+        assert region.size == int(machine.config.device_dram_bytes)
+
+    def test_reset_counters(self, machine):
+        machine.host.execute(1e9)
+        machine.d2h_link.transfer(1e6)
+        machine.reset_counters()
+        assert machine.host.counters.retired_instructions == 0
+        assert machine.d2h_link.bytes_transferred == 0
+
+    def test_custom_config_propagates(self):
+        config = SystemConfig(cse_ips=1e9)
+        machine = build_machine(config)
+        assert machine.csd.cse.nominal_ips == 1e9

@@ -1,0 +1,136 @@
+"""Program/statement model and dataset sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError, ProgramError
+from repro.lang.dataset import Dataset
+from repro.lang.program import Program, Statement, constant, linear, per_record
+
+from .conftest import make_toy_dataset, make_toy_program
+
+
+class TestCostHelpers:
+    def test_constant(self):
+        fn = constant(8.0)
+        assert fn(0) == 8.0
+        assert fn(1e9) == 8.0
+
+    def test_per_record(self):
+        assert per_record(2.5)(100) == 250.0
+
+    def test_linear(self):
+        assert linear(2.0, 5.0)(10) == 25.0
+
+
+class TestStatement:
+    def test_requires_name(self):
+        with pytest.raises(ProgramError):
+            Statement("", lambda p: p, per_record(1), constant(1))
+
+    def test_requires_positive_chunks(self):
+        with pytest.raises(ProgramError):
+            Statement("x", lambda p: p, per_record(1), constant(1), chunks=0)
+
+    def test_reads_storage(self):
+        program = make_toy_program()
+        assert program[0].reads_storage()
+        assert not program[1].reads_storage()
+
+
+class TestProgram:
+    def test_rejects_empty(self):
+        with pytest.raises(ProgramError):
+            Program("empty", [])
+
+    def test_rejects_duplicate_names(self):
+        stmt = Statement("dup", lambda p: p, per_record(1), constant(1))
+        stmt2 = Statement("dup", lambda p: p, per_record(1), constant(1))
+        with pytest.raises(ProgramError):
+            Program("p", [stmt, stmt2])
+
+    def test_index_of(self):
+        program = make_toy_program()
+        assert program.index_of("crunch") == 1
+        with pytest.raises(ProgramError):
+            program.index_of("nope")
+
+    def test_input_bytes_chains_outputs(self):
+        program = make_toy_program()
+        assert program.input_bytes(0, 1000) == 0.0
+        assert program.input_bytes(1, 1000) == program[0].output_bytes(1000)
+
+    def test_run_kernels_computes(self):
+        program = make_toy_program()
+        dataset = make_toy_dataset(n_records=1000)
+        result = program.run_kernels(dataset.payload)
+        expected = float(np.sum(np.sqrt(
+            (dataset.payload["x"] * 2.0).astype(np.float32).astype(np.float64)
+        )))
+        assert result["total"] == pytest.approx(expected, rel=1e-6)
+
+    def test_run_kernels_rejects_non_dict(self):
+        bad = Statement("bad", lambda p: 42, per_record(1), constant(1))
+        program = Program("p", [bad])
+        with pytest.raises(ProgramError):
+            program.run_kernels({"x": np.zeros(4)})
+
+
+class TestDataset:
+    def test_raw_bytes(self):
+        dataset = make_toy_dataset(n_records=1000, record_bytes=64.0)
+        assert dataset.raw_bytes == 64_000
+
+    def test_sample_sizes_follow_factor(self):
+        dataset = make_toy_dataset(n_records=2**20)
+        sample = dataset.sample(2**-10)
+        assert sample.n_records == 2**10
+        assert sample.is_sample
+        assert sample.full_records == 2**20
+
+    def test_sample_of_sample_uses_population(self):
+        dataset = make_toy_dataset(n_records=2**20)
+        sample = dataset.sample(2**-8)
+        nested = sample.sample(2**-10)
+        assert nested.n_records == 2**10
+
+    def test_sample_must_shrink(self):
+        dataset = make_toy_dataset(n_records=100)
+        with pytest.raises(DatasetError):
+            dataset.sample(0.999)
+
+    def test_factor_bounds(self):
+        dataset = make_toy_dataset()
+        with pytest.raises(DatasetError):
+            dataset.sample(0.0)
+        with pytest.raises(DatasetError):
+            dataset.sample(1.0)
+
+    def test_payload_cached(self):
+        dataset = make_toy_dataset(n_records=100)
+        assert dataset.payload is dataset.payload
+
+    def test_huge_payload_refused(self):
+        dataset = Dataset(
+            "huge", n_records=10**9, record_bytes=8.0,
+            builder=lambda n, full: {"x": np.zeros(n)},
+        )
+        with pytest.raises(DatasetError):
+            _ = dataset.payload
+
+    def test_builder_must_return_dict(self):
+        dataset = Dataset(
+            "bad", n_records=10, record_bytes=8.0,
+            builder=lambda n, full: [1, 2, 3],
+        )
+        with pytest.raises(DatasetError):
+            _ = dataset.payload
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            Dataset("x", n_records=0, record_bytes=8, builder=lambda n, f: {})
+        with pytest.raises(DatasetError):
+            Dataset("x", n_records=10, record_bytes=0, builder=lambda n, f: {})
+        with pytest.raises(DatasetError):
+            Dataset("x", n_records=10, record_bytes=8,
+                    builder=lambda n, f: {}, full_records=5)

@@ -1,0 +1,82 @@
+"""Odds and ends of the public API surface."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.executor import ExecutionResult, LineTiming
+from repro.runtime.planner import CSD, HOST, Plan
+from repro.workloads import get_workload
+from repro.workloads.tpch.datagen import generate_lineitem
+from repro.workloads.tpch.queries import q1_reference, summarize
+
+
+class TestPlanAccessors:
+    def make_plan(self):
+        return Plan(assignments=[CSD, HOST], t_host=2.0, t_csd=1.5)
+
+    def test_location_of(self):
+        plan = self.make_plan()
+        assert plan.location_of(0) == CSD
+        assert plan.location_of(1) == HOST
+
+    def test_uses_csd(self):
+        assert self.make_plan().uses_csd
+        assert not Plan(assignments=[HOST], t_host=1.0, t_csd=1.0).uses_csd
+
+    def test_projected_speedup_guards_zero(self):
+        plan = Plan(assignments=[HOST], t_host=1.0, t_csd=0.0)
+        assert plan.projected_speedup == 1.0
+
+
+class TestExecutionResultAccessors:
+    def make_result(self):
+        return ExecutionResult(
+            program_name="p",
+            total_seconds=1.0,
+            line_timings=[LineTiming(0, "scan", CSD, CSD, 1.0)],
+        )
+
+    def test_seconds_for(self):
+        assert self.make_result().seconds_for("scan") == 1.0
+
+    def test_seconds_for_missing(self):
+        with pytest.raises(KeyError):
+            self.make_result().seconds_for("nope")
+
+    def test_migrated_false_without_events(self):
+        assert not self.make_result().migrated
+
+
+class TestTpchSummarize:
+    def test_renders_grouped_table(self):
+        lineitem = generate_lineitem(20_000)
+        text = summarize(q1_reference(lineitem))
+        lines = text.splitlines()
+        assert len(lines) == 7  # header + 6 groups
+        assert "sum_qty" in lines[0]
+
+    def test_handles_mixed_types(self):
+        table = {
+            "key": np.array([1, 2]),
+            "value": np.array([1.5, 2.5]),
+        }
+        text = summarize(table)
+        assert "1.50" in text
+
+
+class TestWorkloadRepr:
+    def test_repr_mentions_name_and_size(self):
+        workload = get_workload("tpch_q6", scale=2**-7)
+        assert "tpch_q6" in repr(workload)
+
+    def test_statement_repr(self):
+        workload = get_workload("tpch_q6", scale=2**-7)
+        assert "scan_filter_q6" in repr(workload.program[0])
+
+    def test_program_repr(self):
+        workload = get_workload("tpch_q6", scale=2**-7)
+        assert "lines=2" in repr(workload.program)
+
+    def test_dataset_repr(self):
+        workload = get_workload("tpch_q6", scale=2**-7)
+        assert "lineitem" in repr(workload.dataset)

@@ -1,0 +1,54 @@
+"""The paper-constants module, and config consistency with it."""
+
+import pytest
+
+from repro import paper
+from repro.config import DEFAULT_CONFIG
+from repro.units import GB
+
+
+class TestPaperConstants:
+    def test_fig4_averages(self):
+        assert paper.FIG4_STATIC_GEOMEAN == 1.33
+        assert paper.FIG4_ACTIVEPY_GEOMEAN == 1.34
+
+    def test_table1_has_nine_apps(self):
+        assert len(paper.TABLE1_SIZES) == 9
+        assert paper.TABLE1_SIZES["kmeans"] == pytest.approx(5.3 * GB)
+        assert paper.TABLE1_SIZES["mixedgemm"] == pytest.approx(9.4 * GB)
+
+    def test_sampling_factors_match_config(self):
+        assert DEFAULT_CONFIG.sampling_factors == paper.SAMPLING_FACTORS
+
+    def test_ladder_matches_config_decomposition(self):
+        total = (
+            DEFAULT_CONFIG.interp_dispatch_overhead + DEFAULT_CONFIG.copy_overhead
+        )
+        assert total == pytest.approx(paper.LADDER_PYTHON_OVERHEAD)
+        assert DEFAULT_CONFIG.copy_overhead == pytest.approx(
+            paper.LADDER_CYTHON_OVERHEAD
+        )
+
+    def test_platform_internal_bandwidth_matches_config(self):
+        assert DEFAULT_CONFIG.bw_internal == pytest.approx(
+            paper.PLATFORM_INTERNAL_BANDWIDTH
+        )
+
+    def test_cse_cores_match(self):
+        assert DEFAULT_CONFIG.cse_cores == paper.PLATFORM_CSE_CORES
+
+    def test_nand_capacity_matches(self):
+        assert DEFAULT_CONFIG.nand_capacity_bytes == pytest.approx(
+            paper.PLATFORM_NAND_CAPACITY
+        )
+
+    def test_compile_cost_matches(self):
+        assert DEFAULT_CONFIG.compile_overhead_s == pytest.approx(
+            paper.SAMPLING_PLUS_CODEGEN_SECONDS
+        )
+
+    def test_workload_sizes_match_table1(self):
+        from repro.workloads import get_workload
+
+        for name, size in paper.TABLE1_SIZES.items():
+            assert get_workload(name, scale=2**-7).table1_bytes == pytest.approx(size)

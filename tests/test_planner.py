@@ -1,0 +1,176 @@
+"""Algorithm 1: the greedy CSD code assignment."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import PlanningError
+from repro.runtime.estimator import LineEstimate
+from repro.runtime.planner import (
+    CSD,
+    HOST,
+    Plan,
+    assign_csd_code,
+    host_only_plan,
+    projected_time,
+)
+from repro.baselines.static_isp import exhaustive_best_plan
+
+
+def line(index, name, ct_host, ct_device, d_in, d_out, d_storage=0.0):
+    return LineEstimate(
+        index=index, name=name, ct_host=ct_host, ct_device=ct_device,
+        d_in=d_in, d_out=d_out, d_storage=d_storage,
+        compute_host=ct_host,
+    )
+
+
+@pytest.fixture
+def cfg():
+    return SystemConfig()
+
+
+class TestAcceptance:
+    def test_offloads_volume_reducing_scan(self, cfg):
+        # 6 GB scanned down to 60 MB: the canonical ISP win.
+        scan = line(0, "scan", ct_host=4.0, ct_device=1.5, d_in=0, d_out=6e7,
+                    d_storage=6e9)
+        plan = assign_csd_code([scan], cfg)
+        assert plan.assignments == [CSD]
+        assert plan.t_csd < plan.t_host
+
+    def test_rejects_compute_bound_line(self, cfg):
+        heavy = line(0, "gemm", ct_host=4.0, ct_device=8.0, d_in=0, d_out=1e6,
+                     d_storage=1e9)
+        plan = assign_csd_code([heavy], cfg)
+        assert plan.assignments == [HOST]
+        assert plan.t_csd == plan.t_host
+
+    def test_input_transfer_penalised_when_prev_on_host(self, cfg):
+        # The second line is mildly device-favourable, but its 6 GB
+        # input lives on the host: shipping it costs more than the gain.
+        first = line(0, "host_stage", ct_host=1.0, ct_device=9.0, d_in=0, d_out=6e9)
+        second = line(1, "mild", ct_host=1.0, ct_device=0.9, d_in=6e9, d_out=1e6)
+        plan = assign_csd_code([first, second], cfg)
+        assert plan.assignments == [HOST, HOST]
+
+    def test_chain_extends_when_prev_on_csd(self, cfg):
+        # Same "mild" line joins happily when its producer is already
+        # on the device (the -D_in/BW branch of Algorithm 1).
+        scan = line(0, "scan", ct_host=4.0, ct_device=1.5, d_in=0, d_out=6e9,
+                    d_storage=6.4e9)
+        mild = line(1, "mild", ct_host=1.0, ct_device=1.1, d_in=6e9, d_out=1e6)
+        plan = assign_csd_code([scan, mild], cfg)
+        assert plan.assignments == [CSD, CSD]
+
+    def test_greedy_is_order_sensitive(self, cfg):
+        # A flat-volume line blocks the greedy even though the oracle
+        # would offload through it — the locality the paper accepts in
+        # exchange for a linear-time algorithm.
+        flat = line(0, "flat", ct_host=1.0, ct_device=1.5, d_in=0, d_out=6e9,
+                    d_storage=6e9)
+        reducer = line(1, "reduce", ct_host=1.0, ct_device=1.2, d_in=6e9, d_out=8.0)
+        greedy = assign_csd_code([flat, reducer], cfg)
+        oracle = exhaustive_best_plan([flat, reducer], cfg)
+        assert oracle.t_csd <= greedy.t_csd
+
+
+class TestPlanInvariants:
+    def test_never_worse_than_host_only(self, cfg):
+        lines = [
+            line(0, "a", 2.0, 1.0, 0, 5e9, d_storage=6e9),
+            line(1, "b", 1.0, 2.0, 5e9, 1e9),
+            line(2, "c", 0.5, 1.0, 1e9, 8.0),
+        ]
+        plan = assign_csd_code(lines, cfg)
+        assert plan.t_csd <= plan.t_host
+
+    def test_projected_speedup(self, cfg):
+        scan = line(0, "scan", ct_host=4.0, ct_device=1.0, d_in=0, d_out=1e6,
+                    d_storage=6e9)
+        plan = assign_csd_code([scan], cfg)
+        assert plan.projected_speedup == pytest.approx(plan.t_host / plan.t_csd)
+
+    def test_csd_and_host_lines_partition(self, cfg):
+        lines = [
+            line(0, "a", 2.0, 1.0, 0, 1e6, d_storage=6e9),
+            line(1, "b", 1.0, 2.0, 1e6, 8.0),
+        ]
+        plan = assign_csd_code(lines, cfg)
+        assert sorted(plan.csd_lines + plan.host_lines) == [0, 1]
+
+    def test_empty_estimates_rejected(self, cfg):
+        with pytest.raises(PlanningError):
+            assign_csd_code([], cfg)
+
+    def test_non_dense_indices_rejected(self, cfg):
+        bad = [line(1, "a", 1, 1, 0, 0)]
+        with pytest.raises(PlanningError):
+            assign_csd_code(bad, cfg)
+
+    def test_invalid_assignment_values_rejected(self):
+        with pytest.raises(PlanningError):
+            Plan(assignments=["gpu"], t_host=1.0, t_csd=1.0)
+
+
+class TestProjectedTime:
+    def test_host_only_equals_t_host(self, cfg):
+        lines = [
+            line(0, "a", 2.0, 1.0, 0, 1e9, d_storage=3e9),
+            line(1, "b", 1.0, 2.0, 1e9, 8.0),
+        ]
+        assert projected_time([HOST, HOST], lines, cfg) == pytest.approx(
+            sum(l.ct_host for l in lines)
+        )
+
+    def test_boundary_crossings_charged(self, cfg):
+        lines = [
+            line(0, "a", 2.0, 1.0, 0, 3e9),
+            line(1, "b", 1.0, 2.0, 3e9, 8.0),
+        ]
+        mixed = projected_time([CSD, HOST], lines, cfg)
+        expected = lines[0].ct_device + 3e9 / cfg.bw_d2h + lines[1].ct_host
+        assert mixed == pytest.approx(expected)
+
+    def test_final_csd_output_returns_to_host(self, cfg):
+        lines = [line(0, "a", 2.0, 1.0, 0, 3e9)]
+        total = projected_time([CSD], lines, cfg)
+        assert total == pytest.approx(lines[0].ct_device + 3e9 / cfg.bw_d2h)
+
+    def test_greedy_t_csd_consistent_with_projected_time(self, cfg):
+        lines = [
+            line(0, "a", 4.0, 1.5, 0, 5e9, d_storage=6e9),
+            line(1, "b", 1.0, 1.1, 5e9, 1e6),
+            line(2, "c", 2.0, 4.0, 1e6, 8.0),
+        ]
+        plan = assign_csd_code(lines, cfg)
+        assert plan.t_csd == pytest.approx(
+            projected_time(plan.assignments, lines, cfg), rel=1e-9
+        )
+
+    def test_length_mismatch_rejected(self, cfg):
+        with pytest.raises(PlanningError):
+            projected_time([HOST], [], cfg)
+
+
+class TestExhaustiveSearch:
+    def test_exhaustive_at_least_as_good_as_greedy(self, cfg):
+        lines = [
+            line(0, "a", 3.0, 1.2, 0, 4e9, d_storage=6e9),
+            line(1, "b", 0.5, 0.6, 4e9, 2e9),
+            line(2, "c", 2.0, 4.0, 2e9, 1e6),
+            line(3, "d", 0.1, 0.2, 1e6, 8.0),
+        ]
+        greedy = assign_csd_code(lines, cfg)
+        oracle = exhaustive_best_plan(lines, cfg)
+        assert oracle.t_csd <= greedy.t_csd + 1e-12
+
+    def test_host_only_plan(self, cfg):
+        lines = [line(0, "a", 2.0, 1.0, 0, 8.0)]
+        plan = host_only_plan(lines)
+        assert plan.assignments == [HOST]
+        assert plan.t_csd == plan.t_host == pytest.approx(2.0)
+
+    def test_too_many_lines_rejected(self, cfg):
+        lines = [line(i, f"l{i}", 1, 1, 0, 0) for i in range(20)]
+        with pytest.raises(PlanningError):
+            exhaustive_best_plan(lines, cfg)

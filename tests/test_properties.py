@@ -1,0 +1,171 @@
+"""Property-based tests (hypothesis) on core structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig
+from repro.graph.csr import csr_from_edges
+from repro.graph.pagerank_core import spmv
+from repro.memory.allocator import FreeListAllocator
+from repro.runtime.estimator import LineEstimate
+from repro.runtime.fitting import ComplexityCurve, fit_curve
+from repro.runtime.planner import assign_csd_code, projected_time
+from repro.storage.nvme import Completion, CompletionQueue, SubmissionQueue
+
+CONFIG = SystemConfig()
+
+
+# --- allocator -------------------------------------------------------------
+
+@st.composite
+def alloc_scripts(draw):
+    """A sequence of allocate/free actions against one allocator."""
+    return draw(st.lists(
+        st.tuples(st.sampled_from(["alloc", "free"]),
+                  st.integers(min_value=1, max_value=512)),
+        min_size=1, max_size=40,
+    ))
+
+
+@given(alloc_scripts())
+@settings(max_examples=60, deadline=None)
+def test_allocator_never_leaks_or_overlaps(script):
+    allocator = FreeListAllocator(base=0, capacity=8192)
+    live = []
+    for action, size in script:
+        if action == "alloc":
+            try:
+                live.append(allocator.allocate(size))
+            except Exception:
+                continue  # OOM is legal; state must stay consistent
+        elif live:
+            allocator.free(live.pop(size % len(live)))
+    # Invariant 1: accounting balances.
+    assert allocator.bytes_allocated + allocator.bytes_free == 8192
+    assert allocator.bytes_allocated >= sum(a.size for a in live)
+    # Invariant 2: live allocations never overlap.
+    spans = sorted((a.address, a.end) for a in live)
+    for (_, prev_end), (next_start, _) in zip(spans, spans[1:]):
+        assert prev_end <= next_start
+    # Invariant 3: freeing everything restores one maximal block.
+    for allocation in live:
+        allocator.free(allocation)
+    assert allocator.largest_free_block() == 8192
+
+
+# --- curve fitting ------------------------------------------------------------
+
+@given(
+    slope=st.floats(min_value=1e-6, max_value=1e3),
+    intercept=st.floats(min_value=0.0, max_value=1e3),
+)
+@settings(max_examples=60, deadline=None)
+def test_fitting_recovers_any_linear_law(slope, intercept):
+    ns = [1024.0, 2048.0, 4096.0, 8192.0]
+    fit = fit_curve(ns, [slope * n + intercept for n in ns])
+    full = 2**22
+    expected = slope * full + intercept
+    assert abs(fit.predict(full) - expected) <= 0.05 * expected + 1e-9
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=4, max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_fitting_never_predicts_negative(ys):
+    fit = fit_curve([1024.0, 2048.0, 4096.0, 8192.0], ys)
+    for n in (1.0, 1e3, 1e6, 1e9):
+        assert fit.predict(n) >= 0.0
+
+
+@given(st.floats(min_value=1.0, max_value=1e6))
+@settings(max_examples=40, deadline=None)
+def test_growth_terms_are_ordered(n):
+    # For n >= 2 the five laws are strictly ordered, which is what lets
+    # the fitter discriminate them.
+    if n >= 2.0:
+        values = [curve.growth(n) for curve in (
+            ComplexityCurve.O1, ComplexityCurve.N, ComplexityCurve.NLOGN,
+            ComplexityCurve.N2, ComplexityCurve.N3,
+        )]
+        assert values == sorted(values)
+
+
+# --- planner ------------------------------------------------------------------
+
+@st.composite
+def estimate_chains(draw):
+    k = draw(st.integers(min_value=1, max_value=6))
+    lines = []
+    previous_out = 0.0
+    for i in range(k):
+        compute = draw(st.floats(min_value=0.01, max_value=5.0))
+        storage = draw(st.floats(min_value=0.0, max_value=8e9))
+        d_out = draw(st.floats(min_value=8.0, max_value=8e9))
+        lines.append(LineEstimate(
+            index=i, name=f"l{i}",
+            ct_host=compute + storage / CONFIG.bw_host_storage,
+            ct_device=compute * CONFIG.device_speed_ratio
+            + storage / CONFIG.bw_internal,
+            d_in=previous_out, d_out=d_out, d_storage=storage,
+            compute_host=compute,
+        ))
+        previous_out = d_out
+    return lines
+
+
+@given(estimate_chains())
+@settings(max_examples=80, deadline=None)
+def test_algorithm1_never_worse_than_host_only(lines):
+    plan = assign_csd_code(lines, CONFIG)
+    assert plan.t_csd <= plan.t_host + 1e-9
+
+
+@given(estimate_chains())
+@settings(max_examples=80, deadline=None)
+def test_algorithm1_projection_is_self_consistent(lines):
+    plan = assign_csd_code(lines, CONFIG)
+    assert plan.t_csd == projected_time(plan.assignments, lines, CONFIG) * 1.0 or \
+        abs(plan.t_csd - projected_time(plan.assignments, lines, CONFIG)) < 1e-6
+
+
+# --- NVMe rings ------------------------------------------------------------------
+
+@given(st.lists(st.sampled_from(["submit", "fetch"]), min_size=1, max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_submission_queue_is_fifo_under_any_interleaving(ops):
+    sq = SubmissionQueue(depth=16)
+    submitted, fetched = [], []
+    for op in ops:
+        if op == "submit" and not sq.is_full:
+            submitted.append(sq.submit("exec"))
+        elif op == "fetch" and not sq.is_empty:
+            fetched.append(sq.fetch().command_id)
+    assert fetched == submitted[: len(fetched)]
+    assert len(sq) == len(submitted) - len(fetched)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=15))
+@settings(max_examples=40, deadline=None)
+def test_completion_queue_drain_preserves_order(ids):
+    cq = CompletionQueue(depth=32)
+    for command_id in ids:
+        cq.post(Completion(command_id=command_id))
+    assert [c.command_id for c in cq.drain()] == ids
+
+
+# --- CSR / SpMV -----------------------------------------------------------------
+
+@given(
+    n=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_spmv_matches_dense_for_random_matrices(n, seed):
+    rng = np.random.default_rng(seed)
+    dense = rng.random((n, n)) * (rng.random((n, n)) < 0.4)
+    rows, cols = np.nonzero(dense)
+    if rows.size == 0:
+        return
+    matrix = csr_from_edges(rows, cols, n_rows=n, values=dense[rows, cols])
+    x = rng.random(n)
+    assert np.allclose(spmv(matrix, x), dense @ x)

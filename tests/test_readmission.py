@@ -1,0 +1,159 @@
+"""Re-admission: offloaded lines return to a recovered device.
+
+An extension beyond the paper's prototype (which only migrates
+host-ward): after a migration, a later line planned for the CSD may go
+back once (a) the device's status page reports a healthy rate again and
+(b) the line's Equation-1 economics still favour the device from its
+new starting point (its input now lives on the host).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.hw.topology import build_machine
+from repro.lang.program import Program, Statement, constant, per_record
+from repro.runtime.codegen import CodeGenerator, ExecutionMode
+from repro.runtime.executor import PlanExecutor
+from repro.runtime.planner import CSD, HOST, Plan
+from repro.baselines import ground_truth_estimates
+
+N = 20_000_000
+
+
+def two_scan_program() -> Program:
+    """Two storage-heavy scans separated by a host-friendly stage.
+
+    The second scan is exactly the line a recovered device should get
+    back: it streams 64 B/record from flash and emits 4 B/record.
+    """
+    return Program("twoscan", [
+        Statement(
+            "scan_a", lambda p: {"a": p["x"]},
+            instructions=per_record(40.0), output_bytes=per_record(4.0),
+            storage_bytes=per_record(64.0), chunks=16,
+        ),
+        Statement(
+            "merge", lambda p: {"m": p["a"]},
+            instructions=per_record(2.0), output_bytes=per_record(4.0),
+            chunks=8,
+        ),
+        Statement(
+            "scan_b", lambda p: {"b": p["m"]},
+            instructions=per_record(40.0), output_bytes=per_record(4.0),
+            storage_bytes=per_record(64.0), chunks=16,
+        ),
+        Statement(
+            "reduce", lambda p: {"r": float(np.sum(p["b"]))},
+            instructions=per_record(1.0), output_bytes=constant(8.0),
+        ),
+    ])
+
+
+def compiled_for(machine, config, assignments):
+    program = two_scan_program()
+    estimates = ground_truth_estimates(program, N, config)
+    plan = Plan(
+        assignments=assignments,
+        t_host=sum(e.ct_host for e in estimates),
+        t_csd=0.0,
+        estimates=tuple(estimates),
+    )
+    return CodeGenerator(config).generate(
+        machine, program, plan, ExecutionMode.C
+    )
+
+
+def run_scenario(config, recovery_at=None):
+    """Congestion during scan_a; optional recovery before scan_b.
+
+    With the default plan the migrated scan_a finishes host-side at
+    ~0.70 s, so a recovery at 0.65 s lands just before scan_b begins.
+    """
+    machine = build_machine(config)
+    machine.csd.cse.schedule_availability(at_time=0.2, fraction=0.05)
+    if recovery_at is not None:
+        machine.csd.cse.schedule_availability(at_time=recovery_at, fraction=1.0)
+    compiled = compiled_for(machine, config, [CSD, CSD, CSD, CSD])
+    executor = PlanExecutor(machine, migration_enabled=True)
+    return executor.execute(compiled, N)
+
+
+def location_of(result, name):
+    for timing in result.line_timings:
+        if timing.name == name:
+            return timing.actual_location
+    raise KeyError(name)
+
+
+class TestReadmission:
+    def test_disabled_by_default_stays_on_host(self):
+        result = run_scenario(SystemConfig(), recovery_at=0.65)
+        assert result.migrated
+        assert location_of(result, "scan_b") == HOST
+
+    def test_enabled_returns_recovered_scan_to_the_device(self):
+        result = run_scenario(
+            SystemConfig(readmission_enabled=True), recovery_at=0.65
+        )
+        assert result.migrated
+        assert location_of(result, "scan_b") == CSD
+
+    def test_no_readmission_without_recovery(self):
+        result = run_scenario(SystemConfig(readmission_enabled=True))
+        assert result.migrated
+        assert location_of(result, "scan_b") == HOST
+
+    def test_readmission_is_profitable(self):
+        stranded = run_scenario(SystemConfig(), recovery_at=0.65)
+        readmitted = run_scenario(
+            SystemConfig(readmission_enabled=True), recovery_at=0.65
+        )
+        assert readmitted.total_seconds < stranded.total_seconds
+
+    def test_uneconomic_lines_stay_host_even_when_healthy(self):
+        # The reduce line's device economics are negative from a
+        # host-resident start; recovery alone must not pull it back.
+        result = run_scenario(
+            SystemConfig(readmission_enabled=True), recovery_at=0.65
+        )
+        # scan_b was readmitted, so reduce is planned-csd with its
+        # input already on the device: it follows scan_b normally.
+        # The line that must NOT bounce is "merge" when it runs after
+        # the migration but before recovery.
+        assert location_of(result, "merge") == HOST
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(readmission_threshold=0.0)
+        with pytest.raises(ConfigError):
+            SystemConfig(readmission_threshold=1.5)
+        with pytest.raises(ConfigError):
+            SystemConfig(readmission_cooldown_s=-1.0)
+
+    def test_cooldown_suppresses_immediate_return(self):
+        # With a cooldown longer than the whole run, recovery cannot
+        # pull any line back even though the device is healthy again.
+        config = SystemConfig(
+            readmission_enabled=True, readmission_cooldown_s=60.0,
+        )
+        result = run_scenario(config, recovery_at=0.65)
+        assert result.migrated
+        assert location_of(result, "scan_b") == HOST
+
+    def test_oscillating_tenant_does_not_thrash(self):
+        # The device flaps every 120 ms; the cooldown bounds the number
+        # of migrations to at most one per quiet period.
+        from repro.storage.tenant import BackgroundLoad
+
+        config = SystemConfig(readmission_enabled=True)
+        machine = build_machine(config)
+        BackgroundLoad(
+            machine.csd.cse, period_s=0.24, busy_fraction=0.5,
+            available_during=0.05, start_at=0.1,
+        ).start()
+        compiled = compiled_for(machine, config, [CSD, CSD, CSD, CSD])
+        result = PlanExecutor(machine, migration_enabled=True).execute(compiled, N)
+        quiet_periods = result.total_seconds / config.readmission_cooldown_s
+        assert len(result.migrations) <= quiet_periods + 1

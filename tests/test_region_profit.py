@@ -1,0 +1,69 @@
+"""Equation-1 region-profit analysis."""
+
+import pytest
+
+from repro.baselines import ground_truth_estimates
+from repro.runtime.estimator import region_profits
+from repro.runtime.planner import CSD, assign_csd_code
+from repro.workloads import get_workload
+
+from .conftest import make_toy_program
+
+
+class TestRegionProfits:
+    def test_enumerates_all_contiguous_regions(self, config):
+        program = make_toy_program()  # 3 lines -> 6 regions
+        estimates = ground_truth_estimates(program, 2_000_000, config)
+        profits = region_profits(estimates, config)
+        assert len(profits) == 6
+        spans = {(p.first_line, p.last_line) for p in profits}
+        assert spans == {(0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2)}
+
+    def test_full_scan_region_is_profitable(self, config):
+        program = make_toy_program()
+        estimates = ground_truth_estimates(program, 20_000_000, config)
+        profits = {(p.first_line, p.last_line): p
+                   for p in region_profits(estimates, config)}
+        assert profits[(0, 0)].worthwhile  # the volume-reducing scan
+
+    def test_names_cover_the_region(self, config):
+        program = make_toy_program()
+        estimates = ground_truth_estimates(program, 2_000_000, config)
+        profits = {(p.first_line, p.last_line): p
+                   for p in region_profits(estimates, config)}
+        assert profits[(0, 2)].names == ("scan", "crunch", "reduce")
+
+    def test_raw_bytes_include_storage_and_memory_input(self, config):
+        program = make_toy_program()
+        n = 2_000_000
+        estimates = ground_truth_estimates(program, n, config)
+        profits = {(p.first_line, p.last_line): p
+                   for p in region_profits(estimates, config)}
+        # Region [1..1]'s raw input is line 1's memory input.
+        assert profits[(1, 1)].raw_bytes == pytest.approx(estimates[1].d_in)
+        # Region [0..0]'s raw input is the storage it streams.
+        assert profits[(0, 0)].raw_bytes == pytest.approx(estimates[0].d_storage)
+
+    def test_profit_sign_agrees_with_planner_on_real_workload(self, config):
+        # Where Equation 1 says a prefix region profits, Algorithm 1
+        # should offload it (they are the same economics).
+        workload = get_workload("tpch_q6")
+        estimates = ground_truth_estimates(
+            workload.program, workload.n_records, config
+        )
+        plan = assign_csd_code(estimates, config)
+        profits = {(p.first_line, p.last_line): p
+                   for p in region_profits(estimates, config)}
+        k = len(estimates) - 1
+        if profits[(0, k)].worthwhile:
+            assert plan.assignments[0] == CSD
+
+    def test_compute_bound_region_unprofitable(self, config):
+        workload = get_workload("lightgbm")
+        estimates = ground_truth_estimates(
+            workload.program, workload.n_records, config
+        )
+        profits = {(p.first_line, p.last_line): p
+                   for p in region_profits(estimates, config)}
+        predict = workload.program.index_of("predict_ensemble")
+        assert not profits[(predict, predict)].worthwhile

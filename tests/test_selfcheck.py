@@ -1,0 +1,51 @@
+"""The reproduction self-check against pinned expectations."""
+
+import pytest
+
+from repro.analysis.expected import EXPECTED_SELFCHECK
+from repro.analysis.selfcheck import (
+    SELFCHECK_WORKLOADS,
+    measure_selfcheck,
+    run_selfcheck,
+)
+
+
+@pytest.fixture(scope="module")
+def selfcheck():
+    return run_selfcheck()
+
+
+class TestSelfCheck:
+    def test_passes_on_the_calibrated_platform(self, selfcheck):
+        assert selfcheck.ok, selfcheck.drifted
+
+    def test_measures_every_pinned_quantity(self, selfcheck):
+        assert set(selfcheck.measured) == set(EXPECTED_SELFCHECK)
+
+    def test_break_even_near_analytic_value(self, selfcheck):
+        # docs/calibration.md derives ~4.1 instr/byte by hand.
+        assert selfcheck.measured["config.break_even_instr_per_byte"] == (
+            pytest.approx(4.11, abs=0.01)
+        )
+
+    def test_covers_scan_csr_and_compute_workloads(self):
+        assert set(SELFCHECK_WORKLOADS) == {"tpch_q6", "pagerank", "mixedgemm"}
+
+    def test_render_mentions_status(self, selfcheck):
+        text = selfcheck.render()
+        assert "PASS" in text
+        assert "tpch_q6.activepy_speedup" in text
+
+    def test_detects_injected_drift(self, selfcheck, monkeypatch):
+        drifted = dict(selfcheck.measured)
+        drifted["tpch_q6.activepy_speedup"] *= 1.5
+        monkeypatch.setattr(
+            "repro.analysis.selfcheck.measure_selfcheck", lambda: drifted
+        )
+        result = run_selfcheck()
+        assert not result.ok
+        assert any("tpch_q6.activepy_speedup" in d for d in result.drifted)
+
+    def test_measurement_is_deterministic(self, selfcheck):
+        again = measure_selfcheck()
+        assert again == selfcheck.measured

@@ -1,0 +1,163 @@
+"""Discrete-event engine: clock monotonicity and event ordering."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.engine import EventQueue, Simulator
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == pytest.approx(2.0)
+
+    def test_zero_advance_allowed(self):
+        clock = SimClock()
+        clock.advance(0.0)
+        assert clock.now == 0.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock().advance(-0.1)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(start=5.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(4.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock(start=-1.0)
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.advance(7.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(2.0, lambda: fired.append("b"))
+        queue.push(1.0, lambda: fired.append("a"))
+        queue.pop().action()
+        queue.pop().action()
+        assert fired == ["a", "b"]
+
+    def test_same_time_fifo(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(1.0, lambda: fired.append(1))
+        queue.push(1.0, lambda: fired.append(2))
+        queue.push(1.0, lambda: fired.append(3))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert fired == [1, 2, 3]
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        event.cancel()
+        assert queue.pop() is None
+        assert len(queue) == 0
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 2.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, lambda: None)
+
+
+class TestSimulator:
+    def test_schedule_after_uses_now(self):
+        sim = Simulator()
+        sim.clock.advance(10.0)
+        fired = []
+        sim.schedule_after(5.0, lambda: fired.append(sim.now))
+        sim.run_until(20.0)
+        assert fired == [15.0]
+        assert sim.now == 20.0
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.clock.advance(10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_fire_due_events_only_fires_due(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append("early"))
+        sim.schedule_at(9.0, lambda: fired.append("late"))
+        sim.clock.advance(2.0)
+        count = sim.fire_due_events()
+        assert count == 1
+        assert fired == ["early"]
+
+    def test_fire_due_events_noop_when_nothing_due(self):
+        sim = Simulator()
+        sim.schedule_at(5.0, lambda: None)
+        assert sim.fire_due_events() == 0
+
+    def test_run_until_advances_through_events(self):
+        sim = Simulator()
+        timeline = []
+        sim.schedule_at(1.0, lambda: timeline.append(sim.now))
+        sim.schedule_at(2.0, lambda: timeline.append(sim.now))
+        sim.run_until(3.0)
+        assert timeline == [1.0, 2.0]
+        assert sim.now == 3.0
+
+    def test_run_until_past_deadline_rejected(self):
+        sim = Simulator()
+        sim.clock.advance(2.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                sim.schedule_after(1.0, chain)
+
+        sim.schedule_at(1.0, chain)
+        sim.run_all()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_run_all_guards_against_loops(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule_after(0.0, forever)
+
+        sim.schedule_at(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run_all(max_events=100)
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        sim.run_all()
+        assert sim.events_fired == 2

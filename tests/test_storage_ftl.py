@@ -1,0 +1,104 @@
+"""FTL: logical mapping, out-of-place updates, garbage collection."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.ftl import PageMappingFTL
+from repro.storage.nand import FlashArray, FlashGeometry
+
+
+def make_ftl(blocks: int = 8, pages: int = 8, overprovision: float = 0.25):
+    array = FlashArray(FlashGeometry(
+        channels=1, blocks_per_channel=blocks, pages_per_block=pages,
+        page_bytes=4096,
+    ))
+    return PageMappingFTL(array, gc_threshold_blocks=2, overprovision_fraction=overprovision)
+
+
+class TestMapping:
+    def test_write_then_read(self):
+        ftl = make_ftl()
+        ftl.write(0)
+        assert ftl.is_mapped(0)
+        assert ftl.read(0) == ftl.array.geometry.read_latency_s
+
+    def test_read_unwritten_rejected(self):
+        with pytest.raises(StorageError):
+            make_ftl().read(0)
+
+    def test_out_of_range_lpn(self):
+        ftl = make_ftl()
+        with pytest.raises(StorageError):
+            ftl.write(ftl.logical_pages)
+
+    def test_update_moves_physical_page(self):
+        ftl = make_ftl()
+        ftl.write(0)
+        first = ftl.physical_of(0)
+        ftl.write(0)
+        assert ftl.physical_of(0) != first
+
+    def test_logical_space_respects_overprovision(self):
+        ftl = make_ftl(overprovision=0.25)
+        assert ftl.logical_pages == int(ftl.array.geometry.total_pages * 0.75)
+
+
+class TestGarbageCollection:
+    def test_gc_reclaims_space_under_churn(self):
+        ftl = make_ftl(blocks=4, pages=4, overprovision=0.5)
+        # Rewrite a small working set far beyond raw capacity: without
+        # GC the array would run out of programmable pages.
+        for i in range(200):
+            ftl.write(i % ftl.logical_pages)
+        assert ftl.gc_runs > 0
+        assert ftl.array.free_blocks >= 1
+
+    def test_gc_preserves_all_live_mappings(self):
+        ftl = make_ftl(blocks=4, pages=4, overprovision=0.5)
+        for i in range(200):
+            ftl.write(i % ftl.logical_pages)
+        # Every logical page must still resolve and read back.
+        for lpn in range(ftl.logical_pages):
+            if ftl.is_mapped(lpn):
+                ftl.read(lpn)
+
+    def test_write_amplification_above_one_under_churn(self):
+        ftl = make_ftl(blocks=4, pages=4, overprovision=0.5)
+        for i in range(300):
+            ftl.write(i % ftl.logical_pages)
+        assert ftl.write_amplification() > 1.0
+
+    def test_no_gc_when_space_is_plentiful(self):
+        ftl = make_ftl(blocks=16, pages=8, overprovision=0.25)
+        for lpn in range(4):
+            ftl.write(lpn)
+        assert ftl.gc_runs == 0
+        assert ftl.write_amplification() == pytest.approx(1.0)
+
+    def test_gc_busy_time_accumulates(self):
+        ftl = make_ftl(blocks=4, pages=4, overprovision=0.5)
+        for i in range(200):
+            ftl.write(i % ftl.logical_pages)
+        assert ftl.gc_busy_seconds > 0
+
+    def test_gc_moves_only_valid_pages(self):
+        ftl = make_ftl(blocks=4, pages=4, overprovision=0.5)
+        for i in range(200):
+            ftl.write(i % ftl.logical_pages)
+        # Pages moved by GC never exceed total live pages per run.
+        assert ftl.gc_pages_moved <= ftl.array.programs
+
+
+class TestValidation:
+    def test_bad_threshold(self):
+        array = FlashArray(FlashGeometry(channels=1, blocks_per_channel=2))
+        with pytest.raises(StorageError):
+            PageMappingFTL(array, gc_threshold_blocks=0)
+
+    def test_bad_overprovision(self):
+        array = FlashArray(FlashGeometry(channels=1, blocks_per_channel=2))
+        with pytest.raises(StorageError):
+            PageMappingFTL(array, overprovision_fraction=1.0)
+
+    def test_write_amplification_zero_when_idle(self):
+        assert make_ftl().write_amplification() == 0.0

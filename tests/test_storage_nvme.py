@@ -1,0 +1,81 @@
+"""NVMe queue pairs: ring-buffer semantics and command flow."""
+
+import pytest
+
+from repro.errors import DispatchError
+from repro.storage.nvme import Completion, CompletionQueue, QueuePair, SubmissionQueue
+
+
+class TestSubmissionQueue:
+    def test_submit_assigns_increasing_ids(self):
+        sq = SubmissionQueue()
+        assert sq.submit("exec") == 0
+        assert sq.submit("exec") == 1
+
+    def test_fetch_is_fifo(self):
+        sq = SubmissionQueue()
+        sq.submit("a")
+        sq.submit("b")
+        assert sq.fetch().opcode == "a"
+        assert sq.fetch().opcode == "b"
+
+    def test_doorbell_counts(self):
+        sq = SubmissionQueue()
+        sq.submit("exec")
+        sq.submit("exec")
+        assert sq.doorbell_rings == 2
+
+    def test_fetch_empty_rejected(self):
+        with pytest.raises(DispatchError):
+            SubmissionQueue().fetch()
+
+    def test_fills_at_depth_minus_one(self):
+        sq = SubmissionQueue(depth=4)
+        for _ in range(3):
+            sq.submit("exec")
+        assert sq.is_full
+        with pytest.raises(DispatchError):
+            sq.submit("exec")
+
+    def test_wraps_around(self):
+        sq = SubmissionQueue(depth=4)
+        for round_ in range(5):
+            sq.submit("exec")
+            sq.fetch()
+        assert sq.is_empty
+
+    def test_payload_carried(self):
+        sq = SubmissionQueue()
+        sq.submit("exec", payload={"line": "scan"})
+        assert sq.fetch().payload == {"line": "scan"}
+
+
+class TestCompletionQueue:
+    def test_post_and_reap(self):
+        cq = CompletionQueue()
+        cq.post(Completion(command_id=7))
+        assert cq.reap().command_id == 7
+
+    def test_drain(self):
+        cq = CompletionQueue()
+        for i in range(3):
+            cq.post(Completion(command_id=i))
+        assert [c.command_id for c in cq.drain()] == [0, 1, 2]
+        assert cq.is_empty
+
+    def test_reap_empty_rejected(self):
+        with pytest.raises(DispatchError):
+            CompletionQueue().reap()
+
+    def test_minimum_depth(self):
+        with pytest.raises(DispatchError):
+            CompletionQueue(depth=1)
+
+
+class TestQueuePair:
+    def test_create_binds_both_rings(self):
+        qp = QueuePair.create(depth=8, name="qp0")
+        command_id = qp.sq.submit("exec")
+        command = qp.sq.fetch()
+        qp.cq.post(Completion(command_id=command.command_id))
+        assert qp.cq.reap().command_id == command_id

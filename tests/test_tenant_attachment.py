@@ -1,0 +1,118 @@
+"""Co-tenant background load and NVMe-oF attachment."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError, HardwareError
+from repro.hw.topology import build_machine
+from repro.runtime.activepy import ActivePy
+from repro.storage.tenant import BackgroundLoad
+
+from .conftest import make_toy_dataset, make_toy_program
+
+
+class TestBackgroundLoad:
+    def test_duty_cycle_toggles_availability(self, machine):
+        load = BackgroundLoad(
+            machine.csd.cse, period_s=1.0, busy_fraction=0.5,
+            available_during=0.1,
+        ).start()
+        sim = machine.simulator
+        sim.run_until(0.25)
+        assert machine.csd.cse.availability == 0.1
+        sim.run_until(0.75)
+        assert machine.csd.cse.availability == 1.0
+        sim.run_until(1.25)
+        assert machine.csd.cse.availability == 0.1
+        assert load.bursts_started == 2
+
+    def test_stop_finishes_current_burst(self, machine):
+        load = BackgroundLoad(
+            machine.csd.cse, period_s=1.0, busy_fraction=0.5,
+        ).start()
+        machine.simulator.run_until(0.25)
+        load.stop()
+        machine.simulator.run_until(5.0)
+        assert machine.csd.cse.availability == 1.0
+        assert load.bursts_started == 1
+
+    def test_mean_availability(self, machine):
+        load = BackgroundLoad(
+            machine.csd.cse, period_s=1.0, busy_fraction=0.5,
+            available_during=0.2,
+        )
+        assert load.mean_availability == pytest.approx(0.6)
+
+    def test_cannot_start_twice(self, machine):
+        load = BackgroundLoad(machine.csd.cse, period_s=1.0, busy_fraction=0.5)
+        load.start()
+        with pytest.raises(HardwareError):
+            load.start()
+
+    def test_validation(self, machine):
+        cse = machine.csd.cse
+        with pytest.raises(HardwareError):
+            BackgroundLoad(cse, period_s=0, busy_fraction=0.5)
+        with pytest.raises(HardwareError):
+            BackgroundLoad(cse, period_s=1.0, busy_fraction=1.0)
+        with pytest.raises(HardwareError):
+            BackgroundLoad(cse, period_s=1.0, busy_fraction=0.5, available_during=0)
+
+    def test_tenant_bursts_trigger_migration(self, config):
+        # A heavy co-tenant arriving mid-run looks exactly like the
+        # paper's Fig. 5 stress; the monitor must catch it via IPC.
+        program = make_toy_program()
+        dataset = make_toy_dataset()
+        machine = build_machine(config)
+        # The scan runs on the CSD from ~0.12 s (after sampling and
+        # compile) to ~0.47 s; the burst lands mid-scan.
+        BackgroundLoad(
+            machine.csd.cse, period_s=60.0, busy_fraction=0.9,
+            available_during=0.05, start_at=0.25,
+        ).start()
+        report = ActivePy(config).run(program, dataset, machine=machine)
+        assert report.result.migrated
+
+
+class TestAttachment:
+    def test_default_is_pcie(self):
+        assert SystemConfig().attachment == "pcie"
+        assert SystemConfig().effective_link_latency_s == SystemConfig().link_latency_s
+
+    def test_nvmeof_adds_fabric_latency(self):
+        config = SystemConfig(attachment="nvmeof")
+        assert config.effective_link_latency_s == pytest.approx(
+            config.link_latency_s + config.nvmeof_extra_latency_s
+        )
+
+    def test_invalid_attachment_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(attachment="usb")
+
+    def test_links_pick_up_fabric_latency(self):
+        machine = build_machine(SystemConfig(attachment="nvmeof"))
+        assert machine.d2h_link.latency_s > SystemConfig().link_latency_s
+
+    def test_nvmeof_still_profits_from_isp(self):
+        # RDMA-mapped memory keeps the ActivePy model intact over a
+        # fabric (paper: "the CSD can leverage the RDMA hardware
+        # infrastructure NVMe already uses"); bulk bandwidth dominates,
+        # so the win survives the extra hop.
+        from repro.baselines import run_c_baseline
+
+        config = SystemConfig(attachment="nvmeof")
+        program = make_toy_program()
+        dataset = make_toy_dataset()
+        baseline = run_c_baseline(program, dataset, config=config)
+        report = ActivePy(config).run(program, dataset)
+        assert baseline.total_seconds / report.total_seconds > 1.1
+
+    def test_nvmeof_slower_than_pcie_but_close(self):
+        program = make_toy_program()
+        dataset = make_toy_dataset()
+        pcie = ActivePy(SystemConfig()).run(program, dataset)
+        fabric = ActivePy(SystemConfig(attachment="nvmeof")).run(
+            make_toy_program(), make_toy_dataset()
+        )
+        assert fabric.total_seconds >= pcie.total_seconds
+        assert fabric.total_seconds < 1.1 * pcie.total_seconds

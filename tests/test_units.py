@@ -1,0 +1,74 @@
+"""Unit constants and formatting helpers."""
+
+import pytest
+
+from repro.units import (
+    GB,
+    GIB,
+    GIPS,
+    KB,
+    MB,
+    TB,
+    format_bytes,
+    format_rate,
+    format_seconds,
+)
+
+
+class TestConstants:
+    def test_decimal_ladder(self):
+        assert KB == 1_000
+        assert MB == 1_000_000
+        assert GB == 1_000_000_000
+        assert TB == 1_000_000_000_000
+
+    def test_binary_differs_from_decimal(self):
+        assert GIB == 2**30
+        assert GIB > GB
+
+    def test_gips(self):
+        assert GIPS == 10**9
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_kilobytes(self):
+        assert format_bytes(2_500) == "2.50 KB"
+
+    def test_gigabytes_matches_paper_style(self):
+        assert format_bytes(9.1 * GB) == "9.10 GB"
+
+    def test_terabytes(self):
+        assert format_bytes(2 * TB) == "2.00 TB"
+
+    def test_zero(self):
+        assert format_bytes(0) == "0 B"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+
+class TestFormatSeconds:
+    def test_seconds(self):
+        assert format_seconds(73.2) == "73.20 s"
+
+    def test_milliseconds(self):
+        assert format_seconds(0.025) == "25.00 ms"
+
+    def test_microseconds(self):
+        assert format_seconds(3.1e-6) == "3.10 us"
+
+    def test_boundary_one_second(self):
+        assert format_seconds(1.0) == "1.00 s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_seconds(-0.1)
+
+
+class TestFormatRate:
+    def test_internal_bandwidth(self):
+        assert format_rate(9 * GB) == "9.00 GB/s"

@@ -1,0 +1,94 @@
+"""Wear-aware GC policy and the config-sweep utility."""
+
+import pytest
+
+from repro.analysis.sweep import (
+    SweepResult,
+    activepy_speedup_metric,
+    sweep_config,
+)
+from repro.config import SystemConfig
+from repro.errors import ReproError, StorageError
+from repro.storage.ftl import PageMappingFTL
+from repro.storage.nand import FlashArray, FlashGeometry
+from repro.units import GB
+
+
+def churn(victim_policy: str, writes: int = 4000) -> PageMappingFTL:
+    array = FlashArray(FlashGeometry(
+        channels=2, blocks_per_channel=8, pages_per_block=16,
+    ))
+    ftl = PageMappingFTL(
+        array, overprovision_fraction=0.4, victim_policy=victim_policy,
+        wear_weight=2.0,
+    )
+    # Heavily skewed update pattern: a tiny hot set plus a cold rest,
+    # the classic wear-leveling stressor.
+    hot = max(2, ftl.logical_pages // 20)
+    for lpn in range(ftl.logical_pages):
+        ftl.write(lpn)  # cold data written once
+    for i in range(writes):
+        ftl.write(i % hot)
+    return ftl
+
+
+class TestWearAwareGc:
+    def test_wear_aware_tightens_erase_spread(self):
+        greedy = churn("greedy")
+        aware = churn("wear_aware")
+        assert aware.erase_count_spread() <= greedy.erase_count_spread()
+
+    def test_both_policies_preserve_mappings(self):
+        for policy in ("greedy", "wear_aware"):
+            ftl = churn(policy, writes=1500)
+            for lpn in range(ftl.logical_pages):
+                if ftl.is_mapped(lpn):
+                    ftl.read(lpn)
+
+    def test_wear_aware_costs_some_amplification(self):
+        greedy = churn("greedy")
+        aware = churn("wear_aware")
+        # The tradeoff direction: wear awareness never reduces WA.
+        assert aware.write_amplification() >= greedy.write_amplification() - 0.05
+
+    def test_policy_validation(self):
+        array = FlashArray(FlashGeometry(channels=1, blocks_per_channel=2))
+        with pytest.raises(StorageError):
+            PageMappingFTL(array, victim_policy="random")
+        with pytest.raises(StorageError):
+            PageMappingFTL(array, wear_weight=-1)
+
+
+class TestSweepUtility:
+    def test_sweep_validates(self):
+        with pytest.raises(ReproError):
+            sweep_config("bw_d2h", [], metric=lambda c: 1.0)
+        with pytest.raises(ReproError):
+            sweep_config("not_a_field", [1], metric=lambda c: 1.0)
+
+    def test_sweep_evaluates_each_point(self):
+        result = sweep_config(
+            "cse_ips", [1e9, 2e9, 4e9],
+            metric=lambda config: config.device_speed_ratio,
+        )
+        assert result.metrics == [8.0, 4.0, 2.0]
+        assert result.is_monotone(increasing=False)
+
+    def test_monotonicity_helper(self):
+        rising = SweepResult("f", [])
+        rising.points = [  # type: ignore[assignment]
+            type("P", (), {"value": v, "metric": m})()
+            for v, m in ((1, 1.0), (2, 2.0))
+        ]
+        assert rising.is_monotone(increasing=True)
+
+    def test_isp_profit_falls_with_faster_host_storage(self):
+        # The whole premise of ISP: it lives off the host's narrow
+        # storage path.  Widen that path and the profit must shrink.
+        result = sweep_config(
+            "bw_host_storage", [1.0 * GB, 2.0 * GB, 6.0 * GB],
+            metric=activepy_speedup_metric("tpch_q6"),
+        )
+        assert result.is_monotone(increasing=False)
+        assert result.metrics[0] > 1.3
+        assert result.metrics[-1] < result.metrics[0]

@@ -1,0 +1,48 @@
+"""Calibration report: per-workload baseline times and speedups.
+
+Run after touching any workload cost model::
+
+    python tools/calibration_report.py
+
+Prints, for every workload at paper scale: the C-baseline time, the
+programmer-directed static ISP speedup, the ActivePy speedup, and the
+chosen plans — the raw material behind Figure 4.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import ActivePy, StaticIspBaseline, get_workload, run_c_baseline, workload_names
+
+
+def main() -> None:
+    rows = []
+    for name in workload_names():
+        workload = get_workload(name)
+        baseline = run_c_baseline(workload.program, workload.dataset)
+        static = StaticIspBaseline()
+        static_plan = static.tune(workload.program, workload.n_records)
+        static_result = static.run(workload.program, workload.dataset, plan=static_plan)
+        report = ActivePy().run(workload.program, workload.dataset)
+        rows.append((
+            name,
+            baseline.total_seconds,
+            baseline.total_seconds / static_result.total_seconds,
+            baseline.total_seconds / report.total_seconds,
+            "".join("C" if a == "csd" else "h" for a in static_plan.assignments),
+            "".join("C" if a == "csd" else "h" for a in report.plan.assignments),
+        ))
+        print(
+            f"{name:<12} base={baseline.total_seconds:7.2f}s  "
+            f"static={rows[-1][2]:5.3f}x  activepy={rows[-1][3]:5.3f}x  "
+            f"plan(static)={rows[-1][4]:<8} plan(activepy)={rows[-1][5]}"
+        )
+    geo_static = math.exp(sum(math.log(r[2]) for r in rows) / len(rows))
+    geo_active = math.exp(sum(math.log(r[3]) for r in rows) / len(rows))
+    print(f"\ngeomean: static={geo_static:.3f}x  activepy={geo_active:.3f}x "
+          f"(paper: 1.33x / 1.34x)")
+
+
+if __name__ == "__main__":
+    main()
