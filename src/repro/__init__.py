@@ -18,7 +18,14 @@ paper-versus-measured record of every table and figure.
 """
 
 from .config import DEFAULT_CONFIG, SystemConfig
-from .errors import ReproError
+from .errors import (
+    DeadlineError,
+    DeviceLostError,
+    FaultError,
+    ReproError,
+    UncorrectableMediaError,
+)
+from .faults import FaultEvent, FaultInjector, FaultKind, FaultLog, FaultPlan, FaultSpec
 from .frontend import program_from_function
 from .hw.topology import Machine, build_machine
 from .lang.dataset import Dataset
@@ -42,11 +49,21 @@ __all__ = [
     "ActivePyReport",
     "DEFAULT_CONFIG",
     "Dataset",
+    "DeadlineError",
+    "DeviceLostError",
     "ExecutionMode",
+    "FaultError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultLog",
+    "FaultPlan",
+    "FaultSpec",
     "Machine",
     "Plan",
     "Program",
     "ReproError",
+    "UncorrectableMediaError",
     "Statement",
     "StaticIspBaseline",
     "SystemConfig",

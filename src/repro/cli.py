@@ -59,9 +59,19 @@ def _cmd_run(args) -> int:
     baseline = run_c_baseline(workload.program, workload.dataset)
     machine = build_machine()
     triggers = [(0.5, args.stress)] if args.stress is not None else []
+    fault_plan = None
+    if args.fault_count:
+        from .config import DEFAULT_CONFIG
+        from .faults import FaultPlan
+
+        seed = args.fault_seed if args.fault_seed is not None else DEFAULT_CONFIG.fault_seed
+        # The C baseline's runtime bounds the horizon faults land in.
+        fault_plan = FaultPlan.random(
+            seed=seed, horizon_s=baseline.total_seconds, count=args.fault_count,
+        )
     report = ActivePy().run(
         workload.program, workload.dataset, machine=machine,
-        trace=args.trace, progress_triggers=triggers,
+        trace=args.trace, progress_triggers=triggers, fault_plan=fault_plan,
     )
     print(f"C baseline : {format_seconds(baseline.total_seconds)}")
     print(f"ActivePy   : {format_seconds(report.total_seconds)} "
@@ -74,6 +84,12 @@ def _cmd_run(args) -> int:
         for event in report.result.migrations:
             print(f"migration  : {event.line_name} at "
                   f"{event.sim_time:.2f}s ({event.reason})")
+    if fault_plan is not None:
+        print(f"faults     : {len(fault_plan)} armed (seed {fault_plan.seed}), "
+              f"degraded={report.result.degraded}, "
+              f"chunk replays={report.result.chunk_replays}")
+        for event in report.result.fault_events:
+            print(f"  {event.render()}")
     if args.trace and report.timeline is not None:
         from .analysis.utilization import utilization_report
 
@@ -225,6 +241,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--stress", type=float, default=None, metavar="AVAIL",
         help="throttle the CSE to AVAIL once the offloaded work reaches "
              "50%% progress (the paper's Figure 5 scenario)",
+    )
+    run_parser.add_argument(
+        "--fault-count", type=int, default=0, metavar="N",
+        help="inject N deterministic faults (crashes, lost completions, "
+             "media errors, link degradation) during the run",
+    )
+    run_parser.add_argument(
+        "--fault-seed", type=int, default=None, metavar="SEED",
+        help="seed for the generated fault plan (default: config fault_seed)",
     )
     run_parser.add_argument("--json", metavar="PATH", default=None)
     run_parser.set_defaults(fn=_cmd_run)

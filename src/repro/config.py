@@ -132,6 +132,29 @@ class SystemConfig:
     #: task between units.
     readmission_cooldown_s: float = 0.2
 
+    # --- fault tolerance ----------------------------------------------
+    #: Seed for deterministic fault-plan generation
+    #: (:meth:`repro.faults.FaultPlan.random`).
+    fault_seed: int = 42
+    #: How long (simulated seconds) the host waits for a command
+    #: completion — or for a crashed device to come back — before one
+    #: retry attempt is charged.
+    command_deadline_s: float = 0.05
+    #: Bounded retries (re-submissions / chunk replays) before the host
+    #: gives up on the device for the current command.
+    command_max_retries: int = 3
+    #: First retry backoff, simulated seconds; subsequent waits grow by
+    #: ``retry_backoff_factor`` (exponential backoff, all in sim time).
+    retry_backoff_base_s: float = 0.002
+    #: Multiplier applied to the backoff between consecutive retries.
+    retry_backoff_factor: float = 2.0
+    #: Bounded wait (simulated seconds) for space in a full NVMe
+    #: submission queue before giving up with a dispatch error.
+    queue_full_wait_s: float = 0.02
+    #: Chunk replays the executor attempts on the device after a fault
+    #: before falling back to the host for the rest of the line.
+    chunk_replay_limit: int = 2
+
     def __post_init__(self) -> None:
         positive_fields = (
             "host_ips", "cse_ips", "bw_host_storage", "bw_internal",
@@ -170,6 +193,30 @@ class SystemConfig:
             )
         if self.readmission_cooldown_s < 0:
             raise ConfigError("readmission_cooldown_s must be non-negative")
+        if self.command_deadline_s <= 0:
+            raise ConfigError(
+                f"command_deadline_s must be positive, got {self.command_deadline_s}"
+            )
+        if self.command_max_retries < 0:
+            raise ConfigError(
+                f"command_max_retries must be non-negative, got {self.command_max_retries}"
+            )
+        if self.retry_backoff_base_s <= 0:
+            raise ConfigError(
+                f"retry_backoff_base_s must be positive, got {self.retry_backoff_base_s}"
+            )
+        if self.retry_backoff_factor < 1:
+            raise ConfigError(
+                f"retry_backoff_factor must be >= 1, got {self.retry_backoff_factor}"
+            )
+        if self.queue_full_wait_s < 0:
+            raise ConfigError(
+                f"queue_full_wait_s must be non-negative, got {self.queue_full_wait_s}"
+            )
+        if self.chunk_replay_limit < 0:
+            raise ConfigError(
+                f"chunk_replay_limit must be non-negative, got {self.chunk_replay_limit}"
+            )
         if self.attachment not in ("pcie", "nvmeof"):
             raise ConfigError(
                 f"attachment must be 'pcie' or 'nvmeof', got {self.attachment!r}"

@@ -30,6 +30,26 @@ class FlashError(StorageError):
     """A NAND-level rule was violated (e.g. programming a dirty page)."""
 
 
+class FaultError(ReproError):
+    """An injected fault surfaced to the runtime (see :mod:`repro.faults`)."""
+
+
+class UncorrectableMediaError(FaultError, FlashError):
+    """A NAND read failed beyond the ECC correction capability."""
+
+
+class CseCrashError(FaultError):
+    """The computational storage engine crashed and lost its task state."""
+
+
+class DeadlineError(FaultError):
+    """A command exceeded its completion deadline."""
+
+
+class DeviceLostError(FaultError):
+    """The device stopped responding and was declared dead after retries."""
+
+
 class AddressError(ReproError):
     """A shared-address-space access fell outside any mapped region."""
 

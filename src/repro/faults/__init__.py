@@ -1,0 +1,27 @@
+"""Deterministic fault injection for the simulated ISP stack.
+
+Real computational storage devices fail: NAND pages exceed the ECC
+correction budget, NVMe completions get lost or arrive late, the
+in-device engine crashes or is reset by firmware, and PCIe links
+retrain to degraded widths.  This package lets experiments inject
+exactly those failures at *deterministic* simulated times — a
+:class:`FaultPlan` (optionally generated from a seed) describes what
+goes wrong and when, and a :class:`FaultInjector` arms it on the shared
+event queue — so the runtime's retry/timeout/fallback machinery can be
+exercised reproducibly.  Every injection and every recovery action is
+recorded as a :class:`FaultEvent` on a shared :class:`FaultLog`, which
+execution reports expose for observability.
+"""
+
+from .injector import FaultInjector
+from .log import FaultEvent, FaultLog
+from .spec import FaultKind, FaultPlan, FaultSpec
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultLog",
+    "FaultPlan",
+    "FaultSpec",
+]

@@ -1,0 +1,140 @@
+"""Arming a fault plan on a machine's event queue.
+
+The injector translates each :class:`~repro.faults.spec.FaultSpec` into
+simulator events on the machine's shared
+:class:`~repro.sim.engine.Simulator`: at the spec's timestamp the
+corresponding hardware hook flips (a NAND read fault is armed, the CSE
+crashes, a link degrades), and window faults get a paired recovery
+event.  All state changes go through the same hooks tests and the
+runtime use, so injected faults are indistinguishable from "real" ones
+to everything above the hardware layer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import FaultError
+from ..sim.engine import Event
+from .log import FaultLog
+from .spec import FaultKind, FaultPlan, FaultSpec
+
+
+class FaultInjector:
+    """Schedules a :class:`FaultPlan` against one machine."""
+
+    def __init__(self, machine, plan: FaultPlan, log: Optional[FaultLog] = None) -> None:
+        self.machine = machine
+        self.plan = plan
+        self.log = log if log is not None else FaultLog()
+        self.injected = 0
+        self._armed = False
+        self._events: List[Event] = []
+
+    # --- arming -----------------------------------------------------------
+
+    def arm(self) -> None:
+        """Schedule every spec in the plan; idempotent per injector."""
+        if self._armed:
+            raise FaultError("fault plan is already armed on this injector")
+        self._armed = True
+        for spec in self.plan.sorted_specs():
+            event = self.machine.simulator.schedule_at(
+                spec.at_time,
+                lambda spec=spec: self._fire(spec),
+                label=f"fault-{spec.kind.value}",
+            )
+            self._events.append(event)
+
+    def disarm(self) -> None:
+        """Cancel every not-yet-fired fault event (between experiments)."""
+        for event in self._events:
+            event.cancel()
+        self._events.clear()
+        self._armed = False
+
+    # --- firing -----------------------------------------------------------
+
+    def _device(self, spec: FaultSpec):
+        for device in self.machine.csds:
+            if device.name == spec.target:
+                return device
+        raise FaultError(f"fault targets unknown device {spec.target!r}")
+
+    def _link(self, spec: FaultSpec):
+        if spec.target == "d2h":
+            return self.machine.d2h_link
+        if spec.target == "host-storage":
+            return self.machine.host_storage_link
+        if spec.target == "remote-access":
+            return self.machine.remote_access_link
+        if spec.target == "internal":
+            return self.machine.csd.internal_link
+        raise FaultError(f"fault targets unknown link {spec.target!r}")
+
+    def _fire(self, spec: FaultSpec) -> None:
+        now = self.machine.simulator.now
+        kind = spec.kind
+        if kind is FaultKind.NAND_READ_CORRECTABLE:
+            device = self._device(spec)
+            device.flash.arm_read_fault(
+                correctable=True, retries=spec.retries, count=spec.count
+            )
+            detail = f"{spec.count} read(s), {spec.retries} ECC re-read(s) each"
+        elif kind is FaultKind.NAND_READ_UNCORRECTABLE:
+            device = self._device(spec)
+            device.flash.arm_read_fault(
+                correctable=False, count=spec.count, persistent=spec.persistent
+            )
+            detail = "persistent" if spec.persistent else f"{spec.count} read(s)"
+        elif kind is FaultKind.NVME_COMPLETION_LOSS:
+            device = self._device(spec)
+            device.queue_pair.cq.arm_loss(spec.count)
+            detail = f"next {spec.count} completion(s) dropped"
+        elif kind is FaultKind.NVME_COMPLETION_DELAY:
+            device = self._device(spec)
+            device.queue_pair.cq.arm_delay(spec.duration_s)
+            detail = f"next completion late by {spec.duration_s:.6f}s"
+        elif kind is FaultKind.NVME_QUEUE_STALL:
+            device = self._device(spec)
+            device.queue_pair.stall(now + spec.duration_s)
+            detail = f"queue pair stalled until {now + spec.duration_s:.6f}s"
+        elif kind is FaultKind.CSE_CRASH:
+            device = self._device(spec)
+            device.crash_cse()
+            if spec.duration_s > 0:
+                self.machine.simulator.schedule_after(
+                    spec.duration_s,
+                    lambda device=device, spec=spec: self._recover_cse(device, spec),
+                    label="fault-cse-reset",
+                )
+                detail = f"reset in {spec.duration_s:.6f}s"
+            else:
+                detail = "no self-reset"
+        elif kind is FaultKind.LINK_DEGRADE:
+            link = self._link(spec)
+            link.set_degradation(spec.factor)
+            self.machine.simulator.schedule_after(
+                spec.duration_s,
+                lambda link=link, spec=spec: self._restore_link(link, spec),
+                label="fault-link-restore",
+            )
+            detail = f"bandwidth x{spec.factor:.2f} for {spec.duration_s:.6f}s"
+        else:  # pragma: no cover - FaultKind is exhaustive
+            raise FaultError(f"unhandled fault kind {kind!r}")
+        self.injected += 1
+        self.log.record(now, kind.value, spec.target, "injected", detail)
+
+    def _recover_cse(self, device, spec: FaultSpec) -> None:
+        device.reset_cse()
+        self.log.record(
+            self.machine.simulator.now, spec.kind.value, spec.target,
+            "recovered", "CSE reset, queues cleared",
+        )
+
+    def _restore_link(self, link, spec: FaultSpec) -> None:
+        link.set_degradation(1.0)
+        self.log.record(
+            self.machine.simulator.now, spec.kind.value, spec.target,
+            "recovered", "link restored to full bandwidth",
+        )

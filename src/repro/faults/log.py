@@ -1,0 +1,65 @@
+"""Structured record of injections and recovery actions.
+
+Injector handlers and the runtime's recovery paths both append
+:class:`FaultEvent` entries to one shared :class:`FaultLog`, so an
+execution report carries a single time-ordered story of everything that
+went wrong and how the stack responded.  Events are frozen and their
+``repr`` is deterministic — the determinism acceptance test compares
+whole logs byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injection or recovery action, stamped with simulated time."""
+
+    time: float
+    #: The :class:`~repro.faults.spec.FaultKind` value, or a runtime
+    #: category such as ``"recovery"`` / ``"backpressure"``.
+    kind: str
+    #: Device or link the event concerns.
+    target: str
+    #: What happened: ``"injected"``, ``"ecc-corrected"``,
+    #: ``"chunk-failed"``, ``"chunk-replay"``, ``"retry"``,
+    #: ``"late-completion"``, ``"duplicate-dropped"``,
+    #: ``"host-fallback"``, ``"device-dead"``, ``"recovered"``, …
+    action: str
+    detail: str = ""
+
+    def render(self) -> str:
+        suffix = f" — {self.detail}" if self.detail else ""
+        return f"[{self.time:.6f}s] {self.kind} @ {self.target}: {self.action}{suffix}"
+
+
+class FaultLog:
+    """Append-only event list shared by the injector and the runtime."""
+
+    def __init__(self) -> None:
+        self.events: List[FaultEvent] = []
+
+    def record(
+        self, time: float, kind: str, target: str, action: str, detail: str = ""
+    ) -> FaultEvent:
+        event = FaultEvent(
+            time=time, kind=kind, target=target, action=action, detail=detail
+        )
+        self.events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def actions(self) -> List[str]:
+        """The action sequence alone (convenient for assertions)."""
+        return [event.action for event in self.events]
+
+    def render(self) -> str:
+        return "\n".join(event.render() for event in self.events)

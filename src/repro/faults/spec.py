@@ -1,0 +1,184 @@
+"""Fault descriptions: what breaks, where, and when.
+
+A :class:`FaultSpec` is a single timed failure; a :class:`FaultPlan` is
+an ordered collection of them.  Plans are plain data — arming them on a
+machine is the :class:`~repro.faults.injector.FaultInjector`'s job — so
+the same plan can be replayed against fresh machines and must produce
+byte-identical fault logs (the determinism guarantee the tests pin).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Tuple
+
+from ..errors import FaultError
+
+
+class FaultKind(str, enum.Enum):
+    """The failure modes the simulated stack can inject."""
+
+    #: A NAND read needs ECC re-read retries (extra latency, data fine).
+    NAND_READ_CORRECTABLE = "nand-read-correctable"
+    #: A NAND read fails beyond the ECC budget
+    #: (:class:`~repro.errors.UncorrectableMediaError`).
+    NAND_READ_UNCORRECTABLE = "nand-read-uncorrectable"
+    #: The device drops the next completion(s) it would post.
+    NVME_COMPLETION_LOSS = "nvme-completion-loss"
+    #: The next completion becomes visible to the host late.
+    NVME_COMPLETION_DELAY = "nvme-completion-delay"
+    #: The queue pair stops making progress for a window.
+    NVME_QUEUE_STALL = "nvme-queue-stall"
+    #: The CSE crashes mid-task; optionally resets after ``duration_s``.
+    CSE_CRASH = "cse-crash"
+    #: A link runs at ``factor`` of its bandwidth for ``duration_s``.
+    LINK_DEGRADE = "link-degrade"
+
+
+#: LINK_DEGRADE targets understood by the injector.
+LINK_TARGETS = ("d2h", "host-storage", "remote-access", "internal")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One timed fault.
+
+    ``target`` names the device the fault lands on (``"csd"`` by
+    default), except for :attr:`FaultKind.LINK_DEGRADE` where it names a
+    link (one of :data:`LINK_TARGETS`).
+    """
+
+    kind: FaultKind
+    #: Absolute simulated time the fault is injected.
+    at_time: float
+    target: str = "csd"
+    #: Crash-recovery delay / stall window / degradation window /
+    #: completion delay, in simulated seconds.  For CSE_CRASH a zero
+    #: duration means the engine never comes back on its own.
+    duration_s: float = 0.0
+    #: Completions to drop (NVME_COMPLETION_LOSS) or reads to fail
+    #: (NAND faults).
+    count: int = 1
+    #: ECC re-read attempts charged for a correctable NAND fault.
+    retries: int = 3
+    #: Remaining bandwidth fraction during a LINK_DEGRADE window.
+    factor: float = 1.0
+    #: An uncorrectable NAND fault that survives chunk replays (forces
+    #: the executor's host fallback instead of a successful re-read).
+    persistent: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, FaultKind):
+            raise FaultError(f"kind must be a FaultKind, got {self.kind!r}")
+        if self.at_time < 0:
+            raise FaultError(f"at_time must be non-negative, got {self.at_time}")
+        if self.duration_s < 0:
+            raise FaultError(f"duration_s must be non-negative, got {self.duration_s}")
+        if self.count < 1:
+            raise FaultError(f"count must be at least 1, got {self.count}")
+        if self.retries < 1:
+            raise FaultError(f"retries must be at least 1, got {self.retries}")
+        if not 0 < self.factor <= 1:
+            raise FaultError(f"factor must lie in (0, 1], got {self.factor}")
+        if self.kind is FaultKind.LINK_DEGRADE:
+            if self.target not in LINK_TARGETS:
+                raise FaultError(
+                    f"LINK_DEGRADE target must be one of {LINK_TARGETS}, "
+                    f"got {self.target!r}"
+                )
+            if self.duration_s <= 0:
+                raise FaultError("LINK_DEGRADE needs a positive duration_s")
+            if self.factor >= 1:
+                raise FaultError("LINK_DEGRADE needs factor < 1 to degrade anything")
+        if self.kind is FaultKind.NVME_QUEUE_STALL and self.duration_s <= 0:
+            raise FaultError("NVME_QUEUE_STALL needs a positive duration_s")
+        if self.kind is FaultKind.NVME_COMPLETION_DELAY and self.duration_s <= 0:
+            raise FaultError("NVME_COMPLETION_DELAY needs a positive duration_s")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, replayable set of faults plus the seed that made it.
+
+    ``seed`` is purely provenance for generated plans; hand-written
+    plans may leave it at its default.
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise FaultError(f"plan entries must be FaultSpec, got {spec!r}")
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.specs)
+
+    def sorted_specs(self) -> Tuple[FaultSpec, ...]:
+        """Specs in injection order (stable for equal timestamps)."""
+        return tuple(sorted(self.specs, key=lambda spec: spec.at_time))
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        horizon_s: float,
+        count: int = 4,
+        kinds: Optional[Sequence[FaultKind]] = None,
+        target: str = "csd",
+    ) -> "FaultPlan":
+        """Generate a deterministic plan from a seed.
+
+        Fault times are drawn uniformly over the middle 90% of
+        ``horizon_s`` so faults land while work is actually in flight.
+        The same (seed, horizon, count, kinds) always yields the same
+        plan — the stream is a private :class:`random.Random`.
+        """
+        if horizon_s <= 0:
+            raise FaultError(f"horizon_s must be positive, got {horizon_s}")
+        if count < 1:
+            raise FaultError(f"count must be at least 1, got {count}")
+        rng = random.Random(seed)
+        chosen_kinds = tuple(kinds) if kinds else tuple(FaultKind)
+        specs = []
+        for _ in range(count):
+            kind = rng.choice(chosen_kinds)
+            at_time = rng.uniform(0.05, 0.95) * horizon_s
+            duration = rng.uniform(0.005, 0.05) * horizon_s
+            if kind is FaultKind.LINK_DEGRADE:
+                specs.append(FaultSpec(
+                    kind=kind,
+                    at_time=at_time,
+                    target=rng.choice(LINK_TARGETS),
+                    duration_s=duration,
+                    factor=rng.uniform(0.1, 0.6),
+                ))
+            elif kind is FaultKind.CSE_CRASH:
+                specs.append(FaultSpec(
+                    kind=kind, at_time=at_time, target=target,
+                    duration_s=rng.uniform(0.2, 1.5) * duration,
+                ))
+            elif kind in (FaultKind.NVME_QUEUE_STALL, FaultKind.NVME_COMPLETION_DELAY):
+                specs.append(FaultSpec(
+                    kind=kind, at_time=at_time, target=target, duration_s=duration,
+                ))
+            elif kind is FaultKind.NVME_COMPLETION_LOSS:
+                specs.append(FaultSpec(
+                    kind=kind, at_time=at_time, target=target,
+                    count=rng.randint(1, 2),
+                ))
+            elif kind is FaultKind.NAND_READ_CORRECTABLE:
+                specs.append(FaultSpec(
+                    kind=kind, at_time=at_time, target=target,
+                    retries=rng.randint(1, 8),
+                ))
+            else:  # NAND_READ_UNCORRECTABLE
+                specs.append(FaultSpec(kind=kind, at_time=at_time, target=target))
+        return cls(specs=tuple(specs), seed=seed)

@@ -36,6 +36,32 @@ class Link:
         self.clock = clock
         self.bytes_transferred = 0.0
         self.transfers = 0
+        self._degradation = 1.0
+
+    # --- degradation (fault injection) ---------------------------------
+
+    @property
+    def degradation(self) -> float:
+        """Remaining bandwidth fraction (1.0 = healthy link)."""
+        return self._degradation
+
+    def set_degradation(self, factor: float) -> None:
+        """Run the link at ``factor`` of its bandwidth.
+
+        Models a transient PCIe retrain to a narrower width or lower
+        speed; the :class:`~repro.faults.FaultInjector` opens and closes
+        degradation windows through this hook.
+        """
+        if not 0 < factor <= 1:
+            raise HardwareError(
+                f"link {self.name!r} degradation factor must lie in (0, 1], got {factor}"
+            )
+        self._degradation = float(factor)
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Bandwidth currently deliverable, after any degradation."""
+        return self.bandwidth * self._degradation
 
     def transfer_time(self, nbytes: float) -> float:
         """Seconds to move ``nbytes`` across the link."""
@@ -43,7 +69,7 @@ class Link:
             raise HardwareError(f"transfer size must be non-negative, got {nbytes}")
         if nbytes == 0:
             return 0.0
-        return self.latency_s + nbytes / self.bandwidth
+        return self.latency_s + nbytes / self.effective_bandwidth
 
     def transfer(self, nbytes: float) -> float:
         """Move ``nbytes`` synchronously; advance the clock.

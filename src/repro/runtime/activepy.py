@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence
 
 from ..analysis.timeline import ExecutionTimeline
 from ..config import DEFAULT_CONFIG, SystemConfig
+from ..faults import FaultInjector, FaultPlan
 from ..hw.topology import Machine, build_machine
 from ..lang.dataset import Dataset
 from ..lang.program import Program
@@ -78,6 +79,7 @@ class ActivePy:
         machine: Optional[Machine] = None,
         progress_triggers: Sequence[ProgressTrigger] = (),
         trace: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> ActivePyReport:
         """Run an unannotated program end to end.
 
@@ -85,10 +87,18 @@ class ActivePy:
         when the offloaded work crosses a progress fraction, as the
         paper does for its migration study (Figure 5).  With ``trace``
         the report carries an :class:`ExecutionTimeline` of every span.
+        ``fault_plan`` arms deterministic fault injection
+        (:mod:`repro.faults`) before execution; injected faults and the
+        runtime's recovery actions land on ``result.fault_events``.
         """
         if machine is None:
             machine = build_machine(self.config)
         device = _resolve_device(machine, dataset)
+
+        injector = None
+        if fault_plan is not None and len(fault_plan) > 0:
+            injector = FaultInjector(machine, fault_plan)
+            injector.arm()
 
         timeline = ExecutionTimeline() if trace else None
         start = machine.now
@@ -123,6 +133,7 @@ class ActivePy:
         executor = PlanExecutor(
             machine, migration_enabled=self.migration_enabled,
             timeline=timeline, device=device,
+            fault_log=injector.log if injector is not None else None,
         )
         result = executor.execute(
             compiled, n_records=dataset.n_records, progress_triggers=progress_triggers
@@ -162,18 +173,25 @@ def run_plan(
     migration_enabled: bool = False,
     progress_triggers: Sequence[ProgressTrigger] = (),
     config: Optional[SystemConfig] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> ExecutionResult:
     """Compile and execute an externally supplied plan.
 
     Shared helper for the baselines (which bring their own plans) and
     ablations; charges compile cost per the mode and runs the executor
-    against the device holding the dataset.
+    against the device holding the dataset.  ``fault_plan`` arms
+    deterministic fault injection before execution.
     """
     device = _resolve_device(machine, dataset)
+    injector = None
+    if fault_plan is not None and len(fault_plan) > 0:
+        injector = FaultInjector(machine, fault_plan)
+        injector.arm()
     generator = CodeGenerator(config if config is not None else machine.config)
     compiled = generator.generate(machine, program, plan, mode=mode, device=device)
     executor = PlanExecutor(
-        machine, migration_enabled=migration_enabled, device=device
+        machine, migration_enabled=migration_enabled, device=device,
+        fault_log=injector.log if injector is not None else None,
     )
     return executor.execute(
         compiled, n_records=dataset.n_records, progress_triggers=progress_triggers

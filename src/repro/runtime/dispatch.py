@@ -8,6 +8,16 @@ queue, and checks whether the host raised anything it must handle with
 high priority.  The update costs a small interconnect message, which is
 why the paper can claim the status mechanism adds "very little
 overhead".
+
+The dispatcher is also where the host survives a misbehaving device
+(:mod:`repro.faults`): a full submission queue is waited out in sim
+time with a bounded back-pressure window, a missing completion is
+retried with exponential backoff until a per-command deadline budget is
+exhausted, duplicate completions from a retry race are dropped
+idempotently, and a device that never answers is declared dead with
+:class:`~repro.errors.DeviceLostError`.  All of these knobs live on
+:class:`~repro.config.SystemConfig`; every recovery action is recorded
+on the shared :class:`~repro.faults.FaultLog`.
 """
 
 from __future__ import annotations
@@ -15,7 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..errors import DispatchError
+from ..errors import DeadlineError, DeviceLostError, DispatchError
+from ..faults import FaultLog
 from ..hw.topology import Machine
 from ..storage.nvme import Completion
 
@@ -35,15 +46,38 @@ class CallQueueDispatcher:
     """Host-side driver for invoking and tracking CSD functions.
 
     ``device`` selects which attached CSD's queue pair carries the
-    calls (default: the machine's primary device).
+    calls (default: the machine's primary device).  ``fault_log``
+    receives a record of every recovery action; by default each
+    dispatcher keeps its own log.
     """
 
-    def __init__(self, machine: Machine, device=None) -> None:
+    def __init__(self, machine: Machine, device=None, fault_log: Optional[FaultLog] = None) -> None:
         self.machine = machine
         self.device = device if device is not None else machine.csd
         self.queue_pair = self.device.queue_pair
+        self.fault_log = fault_log if fault_log is not None else FaultLog()
         self.invocations = 0
         self.status_updates = 0
+        self.retries = 0
+        self.duplicates_dropped = 0
+        self.backpressure_waits = 0
+        self._completed_ids: set = set()
+        self._abandoned_ids: set = set()
+        #: Absolute sim time an armed completion delay lifts (the entry
+        #: is in the queue but not yet visible to the host).
+        self._cq_visible_at: Optional[float] = None
+
+    # --- sim-time waiting ---------------------------------------------------
+
+    def _wait(self, seconds: float) -> None:
+        """Block the host for ``seconds`` of sim time, firing due events.
+
+        Waiting through the simulator (rather than a bare clock advance)
+        lets background events — a scheduled CSE reset, a stall window
+        expiring — take effect while the host is parked.
+        """
+        simulator = self.machine.simulator
+        simulator.run_until(simulator.now + seconds)
 
     # --- invocation ---------------------------------------------------------
 
@@ -52,11 +86,18 @@ class CallQueueDispatcher:
 
         The CSE fetches the request immediately when idle (our executor
         runs one offloaded task at a time).  Returns the command id.
+        A stalled queue pair is waited out within the command deadline
+        (:class:`~repro.errors.DeadlineError` beyond it); a full
+        submission queue blocks the host in sim time for at most
+        ``config.queue_full_wait_s`` before raising
+        :class:`~repro.errors.DispatchError`.
         """
         if binary_address is None:
             raise DispatchError(
                 f"line {line_name!r} has no installed device binary"
             )
+        self._await_stall_clearance()
+        self._await_submission_space()
         command_id = self.queue_pair.sq.submit(
             opcode="exec", payload={"line": line_name, "binary": binary_address}
         )
@@ -67,19 +108,161 @@ class CallQueueDispatcher:
         self.invocations += 1
         return command_id
 
+    def _await_stall_clearance(self) -> None:
+        simulator = self.machine.simulator
+        if not self.queue_pair.stalled_at(simulator.now):
+            return
+        config = self.machine.config
+        wait = self.queue_pair.stalled_until - simulator.now
+        if wait > config.command_deadline_s:
+            self.fault_log.record(
+                simulator.now, "nvme-queue-stall", self.device.name,
+                "deadline-exceeded",
+                f"stall of {wait:.6f}s exceeds the {config.command_deadline_s}s deadline",
+            )
+            raise DeadlineError(
+                f"queue pair of {self.device.name!r} stalled for {wait:.6f}s, "
+                f"beyond the {config.command_deadline_s}s command deadline"
+            )
+        self.fault_log.record(
+            simulator.now, "nvme-queue-stall", self.device.name,
+            "stall-wait", f"waited {wait:.6f}s for the stall window to pass",
+        )
+        self._wait(wait)
+
+    def _await_submission_space(self) -> None:
+        """Back-pressure: block in sim time until the SQ has a free slot."""
+        sq = self.queue_pair.sq
+        if not sq.is_full:
+            return
+        config = self.machine.config
+        waited = 0.0
+        delay = config.retry_backoff_base_s
+        while sq.is_full:
+            if waited >= config.queue_full_wait_s:
+                self.fault_log.record(
+                    self.machine.simulator.now, "backpressure", self.device.name,
+                    "queue-full-timeout",
+                    f"no SQ slot freed within {config.queue_full_wait_s}s",
+                )
+                raise DispatchError(
+                    f"submission queue of {self.device.name!r} still full after "
+                    f"a bounded wait of {config.queue_full_wait_s}s"
+                )
+            step = min(delay, config.queue_full_wait_s - waited)
+            self._wait(step)
+            waited += step
+            delay *= config.retry_backoff_factor
+            self.backpressure_waits += 1
+        self.fault_log.record(
+            self.machine.simulator.now, "backpressure", self.device.name,
+            "queue-space-acquired", f"waited {waited:.6f}s for an SQ slot",
+        )
+
+    # --- completion ---------------------------------------------------------
+
     def complete(self, command_id: int, status: str = "ok") -> None:
         """Device side: post the final completion for a call."""
         self.queue_pair.cq.post(Completion(command_id=command_id, status=status))
 
+    def abandon(self, command_id: int) -> None:
+        """Stop expecting a completion (the host fell back to itself).
+
+        A completion that surfaces later for an abandoned command — a
+        reset device replaying its queue, say — is dropped idempotently.
+        """
+        self._abandoned_ids.add(command_id)
+
     def reap_completion(self, command_id: int) -> Completion:
-        """Host side: wait for the final completion of a call."""
-        completion = self.queue_pair.cq.reap()
-        if completion.command_id != command_id:
-            raise DispatchError(
-                f"expected completion for command {command_id}, "
-                f"got {completion.command_id}"
+        """Host side: wait for the final completion of a call.
+
+        Waits up to ``config.command_deadline_s`` of sim time (in
+        exponentially growing steps, so background recovery events can
+        fire); on each expiry the command is re-submitted — a live
+        device then re-posts its completion — up to
+        ``config.command_max_retries`` times before the device is
+        declared dead with :class:`~repro.errors.DeviceLostError`.
+        Duplicate completions (a retry racing a late original) are
+        dropped.
+        """
+        config = self.machine.config
+        simulator = self.machine.simulator
+        attempts = 0
+        while True:
+            completion = self._try_reap(command_id)
+            if completion is not None:
+                self._completed_ids.add(command_id)
+                return completion
+            waited = 0.0
+            delay = config.retry_backoff_base_s
+            while waited < config.command_deadline_s:
+                step = min(delay, config.command_deadline_s - waited)
+                self._wait(step)
+                waited += step
+                delay *= config.retry_backoff_factor
+                completion = self._try_reap(command_id)
+                if completion is not None:
+                    self._completed_ids.add(command_id)
+                    return completion
+            if attempts >= config.command_max_retries:
+                self.fault_log.record(
+                    simulator.now, "recovery", self.device.name, "device-dead",
+                    f"command {command_id} unacknowledged after "
+                    f"{attempts} retries; declaring the device lost",
+                )
+                raise DeviceLostError(
+                    f"device {self.device.name!r} never completed command "
+                    f"{command_id} ({attempts} retries exhausted)"
+                )
+            attempts += 1
+            self.retries += 1
+            self.fault_log.record(
+                simulator.now, "recovery", self.device.name, "retry",
+                f"command {command_id} re-submitted (attempt {attempts})",
             )
-        return completion
+            self.machine.d2h_link.message()  # re-ring the doorbell
+            if self.device.healthy:
+                # A live device re-executes the (idempotent) command and
+                # posts a fresh completion; the armed loss fault may
+                # swallow this one too.
+                self.queue_pair.cq.post(Completion(command_id=command_id, status="ok"))
+
+    def _try_reap(self, command_id: int) -> Optional[Completion]:
+        """Reap the completion for ``command_id`` if it is visible now."""
+        simulator = self.machine.simulator
+        cq = self.queue_pair.cq
+        if self.queue_pair.stalled_at(simulator.now):
+            return None
+        if self._cq_visible_at is None:
+            extra = cq.consume_delay()
+            if extra > 0:
+                self._cq_visible_at = simulator.now + extra
+                self.fault_log.record(
+                    simulator.now, "nvme-completion-delay", self.device.name,
+                    "late-completion", f"completion withheld for {extra:.6f}s",
+                )
+        if self._cq_visible_at is not None:
+            if simulator.now < self._cq_visible_at:
+                return None
+            self._cq_visible_at = None
+        while not cq.is_empty:
+            completion = cq.reap()
+            if (completion.command_id in self._completed_ids
+                    or completion.command_id in self._abandoned_ids):
+                self.duplicates_dropped += 1
+                self.fault_log.record(
+                    simulator.now, "recovery", self.device.name,
+                    "duplicate-dropped",
+                    f"stale completion for command {completion.command_id}",
+                )
+                continue
+            if completion.command_id != command_id:
+                raise DispatchError(
+                    f"expected completion for command {command_id}, "
+                    f"got {completion.command_id}"
+                )
+            return completion
+        return None
 
     # --- status updates --------------------------------------------------------
 

@@ -24,7 +24,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.timeline import ExecutionTimeline
-from ..errors import MigrationError, ProgramError
+from ..errors import CseCrashError, FaultError, MigrationError, ProgramError
+from ..faults import FaultEvent, FaultLog
 from ..hw.topology import Machine
 from ..lang.program import Program, Statement
 from .codegen import CompiledProgram
@@ -60,6 +61,13 @@ class ExecutionResult:
     d2h_bytes: float = 0.0
     remote_access_bytes: float = 0.0
     status_updates: int = 0
+    #: Every injected fault and recovery action, in sim-time order.
+    fault_events: List[FaultEvent] = field(default_factory=list)
+    #: True when a fault forced work off its planned unit (the run
+    #: still completed, host-side, instead of raising).
+    degraded: bool = False
+    #: Device chunks replayed after a transient fault.
+    chunk_replays: int = 0
 
     @property
     def migrated(self) -> bool:
@@ -87,12 +95,17 @@ class PlanExecutor:
         migration_enabled: bool = True,
         timeline: Optional[ExecutionTimeline] = None,
         device=None,
+        fault_log: Optional[FaultLog] = None,
     ) -> None:
         self.machine = machine
         self.migration_enabled = migration_enabled
         self.device = device if device is not None else machine.csd
-        self.dispatcher = CallQueueDispatcher(machine, device=self.device)
+        self.fault_log = fault_log if fault_log is not None else FaultLog()
+        self.dispatcher = CallQueueDispatcher(
+            machine, device=self.device, fault_log=self.fault_log
+        )
         self.timeline = timeline
+        self.chunk_replays = 0
 
     def _trace(self, start: float, resource: str, kind: str, label: str) -> None:
         if self.timeline is not None:
@@ -132,6 +145,7 @@ class PlanExecutor:
         migrations: List[MigrationEvent] = []
         value_location = HOST
         migrated = False  # once true, every remaining line runs on the host
+        degraded = False  # a fault forced work off its planned unit
         last_migration_at = -float("inf")
 
         for index, statement in enumerate(program):
@@ -173,23 +187,94 @@ class PlanExecutor:
                                 f"{statement.name}.input")
 
             if location == CSD:
-                command_id = self.dispatcher.invoke(
-                    statement.name,
-                    compiled.device_binaries.get(statement.name),
-                )
+                try:
+                    command_id = self.dispatcher.invoke(
+                        statement.name,
+                        compiled.device_binaries.get(statement.name),
+                    )
+                except FaultError as exc:
+                    # The device would not even accept the call (stalled
+                    # queue pair beyond the deadline): run the whole
+                    # line on the host instead of raising.
+                    self.fault_log.record(
+                        machine.now, "recovery", self.device.name,
+                        "host-fallback",
+                        f"{statement.name} could not be dispatched: {exc}",
+                    )
+                    self._run_line_on_host(
+                        statement, instr_total, storage_total, d_in,
+                        input_remote=value_location == CSD, multiplier=multiplier,
+                    )
+                    migrated = True
+                    degraded = True
+                    value_location = HOST
+                    self._trace(line_start, HOST, "compute", statement.name)
+                    timings.append(
+                        LineTiming(
+                            index=index,
+                            name=statement.name,
+                            planned_location=planned,
+                            actual_location=HOST,
+                            seconds=machine.now - line_start,
+                        )
+                    )
+                    continue
                 monitor = RuntimeMonitor(
                     config=machine.config,
                     expected_ipc=self.device.cse.expected_ipc(),
                 )
                 line_migrated = False
+                line_faulted = False
+                replays_left = machine.config.chunk_replay_limit
                 chunk = 0
                 while chunk < chunks:
-                    self._run_chunk_on_csd(
-                        statement, instr_total, storage_total, chunks, multiplier
-                    )
+                    fault: Optional[FaultError] = None
+                    try:
+                        self._run_chunk_on_csd(
+                            statement, instr_total, storage_total, chunks, multiplier
+                        )
+                    except FaultError as exc:
+                        fault = exc
+                    machine.simulator.fire_due_events()
+                    if fault is None and self.device.cse.crashed:
+                        # The crash event fired inside this chunk's time
+                        # span: its partial work is lost.
+                        fault = CseCrashError(
+                            f"CSE {self.device.name!r} crashed mid-chunk"
+                        )
+                    if fault is not None:
+                        if self._try_chunk_replay(statement, chunk, fault, replays_left):
+                            replays_left -= 1
+                            self.chunk_replays += 1
+                            continue
+                        # Retries exhausted (or the device is beyond
+                        # saving): resume host-side at this chunk — the
+                        # same Python-line boundary the migration path
+                        # uses.
+                        self.fault_log.record(
+                            machine.now, "recovery", self.device.name,
+                            "host-fallback",
+                            f"{statement.name} resumes on the host at chunk {chunk}",
+                        )
+                        self.dispatcher.abandon(command_id)
+                        self._finish_line_on_host(
+                            statement,
+                            instr_total,
+                            storage_total,
+                            d_in,
+                            chunks,
+                            first_chunk=chunk,
+                            input_on_device=d_in > 0,
+                            multiplier=multiplier,
+                        )
+                        migrated = True
+                        line_migrated = True
+                        line_faulted = True
+                        degraded = True
+                        location = HOST
+                        break
                     csd_instr_done += instr_total / chunks
                     chunk += 1
-                    machine.simulator.fire_due_events()
                     trigger_cursor = self._apply_progress_triggers(
                         triggers, trigger_cursor, csd_instr_done, total_csd_instr
                     )
@@ -230,8 +315,36 @@ class PlanExecutor:
                     line_migrated = True
                     location = HOST
                     break
-                self.dispatcher.complete(command_id)
-                self.dispatcher.reap_completion(command_id)
+                if not line_faulted:
+                    self.dispatcher.complete(command_id)
+                    try:
+                        self.dispatcher.reap_completion(command_id)
+                    except FaultError as exc:
+                        # The work ran but its final acknowledgement
+                        # never arrived and retries exhausted: the host
+                        # cannot trust it, so it replays the whole line
+                        # itself (lines are idempotent).
+                        self.fault_log.record(
+                            machine.now, "recovery", self.device.name,
+                            "line-replay-host",
+                            f"{statement.name} unacknowledged ({exc}); "
+                            "replayed on the host",
+                        )
+                        self.dispatcher.abandon(command_id)
+                        self._finish_line_on_host(
+                            statement,
+                            instr_total,
+                            storage_total,
+                            d_in,
+                            chunks,
+                            first_chunk=0,
+                            input_on_device=d_in > 0,
+                            multiplier=multiplier,
+                        )
+                        migrated = True
+                        line_migrated = True
+                        degraded = True
+                        location = HOST
                 value_location = HOST if line_migrated else CSD
                 self._trace(
                     line_start, CSD if not line_migrated else f"{CSD}+host",
@@ -284,6 +397,9 @@ class PlanExecutor:
                 machine.remote_access_link.bytes_transferred - remote_before
             ),
             status_updates=self.dispatcher.status_updates,
+            fault_events=list(self.fault_log.events),
+            degraded=degraded,
+            chunk_replays=self.chunk_replays,
         )
 
     # --- chunk mechanics ----------------------------------------------------
@@ -333,6 +449,17 @@ class PlanExecutor:
         chunks: int,
         multiplier: float,
     ) -> None:
+        if storage_total > 0:
+            # The chunk's streamed NAND access may hit an armed media
+            # fault: ECC re-reads cost time here, an uncorrectable
+            # error aborts the chunk before any work is charged.
+            extra = self.device.consume_media_fault()
+            if extra > 0:
+                self.fault_log.record(
+                    self.machine.now, "nand-read-correctable", self.device.name,
+                    "ecc-corrected",
+                    f"{statement.name}: {extra:.6f}s of ECC re-reads",
+                )
         self._chunk(
             self.device.cse,
             [(self.device.internal_link, storage_total / chunks)],
@@ -378,6 +505,54 @@ class PlanExecutor:
             self._chunk(machine.host, moves, instr_total / chunks, multiplier)
             machine.simulator.fire_due_events()
 
+    def _try_chunk_replay(
+        self,
+        statement: Statement,
+        chunk: int,
+        fault: FaultError,
+        replays_left: int,
+    ) -> bool:
+        """Decide whether a failed device chunk is worth replaying.
+
+        Transient faults (a consumed NAND read error, a crash the
+        firmware resets within the deadline budget) are replayed on the
+        device; persistent media faults and crashes that outlast the
+        deadline are not — the caller then falls back to the host.
+        All waiting happens in sim time so scheduled recovery events
+        (the CSE reset) can fire while the host backs off.
+        """
+        machine = self.machine
+        config = machine.config
+        self.fault_log.record(
+            machine.now, "recovery", self.device.name, "chunk-failed",
+            f"{statement.name} chunk {chunk}: {fault}",
+        )
+        if replays_left <= 0:
+            return False
+        if self.device.flash.has_persistent_fault:
+            # The page is unreadable on-device no matter how often we
+            # retry; only the host path (replicated data) can finish.
+            return False
+        if self.device.cse.crashed:
+            waited = 0.0
+            delay = config.retry_backoff_base_s
+            while waited < config.command_deadline_s and self.device.cse.crashed:
+                step = min(delay, config.command_deadline_s - waited)
+                machine.simulator.run_until(machine.now + step)
+                waited += step
+                delay *= config.retry_backoff_factor
+            if self.device.cse.crashed:
+                self.fault_log.record(
+                    machine.now, "recovery", self.device.name, "device-dead",
+                    f"CSE still down after backing off {waited:.6f}s",
+                )
+                return False
+        self.fault_log.record(
+            machine.now, "recovery", self.device.name, "chunk-replay",
+            f"{statement.name} chunk {chunk} replayed on the device",
+        )
+        return True
+
     def _device_recovered(self) -> bool:
         """Poll the device's self-reported rate for re-admission.
 
@@ -387,6 +562,8 @@ class PlanExecutor:
         """
         config = self.machine.config
         if not config.readmission_enabled:
+            return False
+        if not self.device.healthy:
             return False
         cse = self.device.cse
         reported_rate = cse.expected_ipc() * cse.availability

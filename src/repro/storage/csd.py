@@ -100,13 +100,49 @@ class ComputationalStorageDevice:
     def internal_read(self, nbytes: float) -> float:
         """Stream ``nbytes`` from NAND to the CSE over the internal bus.
 
-        Advances the clock and returns the elapsed time.
+        Advances the clock and returns the elapsed time.  An armed NAND
+        read fault applies to the stream: correctable faults add ECC
+        re-read latency, uncorrectable ones raise before the transfer.
         """
-        return self.internal_link.transfer(nbytes)
+        extra = self.consume_media_fault()
+        return self.internal_link.transfer(nbytes) + extra
+
+    def consume_media_fault(self) -> float:
+        """Apply any armed NAND read fault to the next streamed access.
+
+        Charges ECC re-read latency to the clock and returns it, or
+        raises :class:`~repro.errors.UncorrectableMediaError`.
+        """
+        extra = self.flash.consume_read_fault()
+        if extra > 0:
+            self.simulator.clock.advance(extra)
+        return extra
 
     def internal_read_time(self, nbytes: float) -> float:
         """Time the internal path would take, without advancing the clock."""
         return self.internal_link.transfer_time(nbytes)
+
+    # --- crash / reset (fault injection) ----------------------------------
+
+    def crash_cse(self) -> None:
+        """Crash the in-device engine; in-flight queue entries are lost."""
+        self.cse.crash()
+
+    def reset_cse(self) -> None:
+        """Firmware reset: revive the engine and clear the queue pair.
+
+        Anything in flight at crash time stays lost — the host's
+        deadline/retry machinery is what recovers the work.  Media
+        faults are unaffected: an unreadable NAND page stays unreadable
+        across an engine reset.
+        """
+        self.cse.reset()
+        self.queue_pair.clear()
+
+    @property
+    def healthy(self) -> bool:
+        """True when the engine can accept and complete work."""
+        return not self.cse.crashed and not self.flash.has_persistent_fault
 
     # --- garbage-collection contention ----------------------------------------
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..errors import HardwareError
+from ..errors import CseCrashError, HardwareError
 from ..hw.compute import ComputeUnit
 from ..sim.engine import Simulator
 
@@ -40,6 +40,31 @@ class ComputationalStorageEngine(ComputeUnit):
         self.simulator = simulator
         self.high_priority_pending = False
         self._scheduled_events = []
+        self.crashed = False
+        self.crashes = 0
+
+    # --- crash / reset (fault injection) ----------------------------------
+
+    def crash(self) -> None:
+        """Crash the engine: in-flight work is lost until a reset.
+
+        A crashed engine refuses to execute; the host observes the
+        failure through missing completions and chunk errors, never
+        through this flag directly.
+        """
+        self.crashed = True
+        self.crashes += 1
+
+    def reset(self) -> None:
+        """Firmware reset: the engine comes back clean at full speed."""
+        self.crashed = False
+        self.high_priority_pending = False
+        self.set_availability(1.0)
+
+    def execute(self, instructions: float) -> float:
+        if self.crashed:
+            raise CseCrashError(f"CSE {self.name!r} is crashed; cannot execute")
+        return super().execute(instructions)
 
     # --- contention scheduling --------------------------------------------
 

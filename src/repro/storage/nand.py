@@ -13,7 +13,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from ..errors import FlashError
+from ..errors import FlashError, UncorrectableMediaError
 
 
 class PageState(enum.Enum):
@@ -108,6 +108,73 @@ class FlashArray:
         self.programs = 0
         self.erases = 0
         self._free_blocks = geometry.total_blocks
+        # Armed read faults (fault injection): pending fault count, ECC
+        # re-read budget for correctable faults, persistence flag for
+        # uncorrectable ones.
+        self._fault_correctable = True
+        self._fault_count = 0
+        self._fault_retries = 0
+        self._fault_persistent = False
+        self.ecc_corrected_reads = 0
+        self.uncorrectable_reads = 0
+
+    # --- fault injection hooks -------------------------------------------
+
+    def arm_read_fault(
+        self,
+        correctable: bool,
+        retries: int = 3,
+        count: int = 1,
+        persistent: bool = False,
+    ) -> None:
+        """Arm the next ``count`` reads to fail.
+
+        Correctable faults cost ``retries`` extra page-read latencies
+        (ECC re-reads) and then succeed; uncorrectable ones raise
+        :class:`~repro.errors.UncorrectableMediaError`.  A *persistent*
+        uncorrectable fault is not consumed by failing reads — replays
+        keep failing until :meth:`clear_read_faults` (the executor then
+        falls back to the host).
+        """
+        if retries < 1:
+            raise FlashError(f"retries must be at least 1, got {retries}")
+        if count < 1:
+            raise FlashError(f"count must be at least 1, got {count}")
+        self._fault_correctable = correctable
+        self._fault_count = count
+        self._fault_retries = retries
+        self._fault_persistent = persistent and not correctable
+
+    def clear_read_faults(self) -> None:
+        """Disarm any pending read fault (recovery hook)."""
+        self._fault_count = 0
+        self._fault_persistent = False
+
+    @property
+    def has_persistent_fault(self) -> bool:
+        """True while an armed uncorrectable fault survives replays."""
+        return self._fault_persistent and self._fault_count > 0
+
+    def consume_read_fault(self) -> float:
+        """Apply one armed read fault, if any, to the current read.
+
+        Returns extra latency (seconds) for a correctable fault, or 0.0
+        when nothing is armed.  Raises
+        :class:`~repro.errors.UncorrectableMediaError` for an armed
+        uncorrectable fault.
+        """
+        if self._fault_count <= 0:
+            return 0.0
+        if self._fault_correctable:
+            self._fault_count -= 1
+            self.ecc_corrected_reads += 1
+            return self._fault_retries * self.geometry.read_latency_s
+        if not self._fault_persistent:
+            self._fault_count -= 1
+        self.uncorrectable_reads += 1
+        raise UncorrectableMediaError(
+            "NAND read failed beyond the ECC correction capability"
+        )
 
     # --- addressing -----------------------------------------------------
 
@@ -130,11 +197,17 @@ class FlashArray:
     # --- operations -------------------------------------------------------
 
     def read_page(self, page_addr: int) -> float:
-        """Read one page; returns the latency cost in seconds."""
+        """Read one page; returns the latency cost in seconds.
+
+        An armed read fault applies here: a correctable one adds ECC
+        re-read latency to the returned cost, an uncorrectable one
+        raises before any cost is charged.
+        """
         if self.page_state(page_addr) is not PageState.VALID:
             raise FlashError(f"page {page_addr} is not valid; cannot read")
+        extra = self.consume_read_fault()
         self.reads += 1
-        return self.geometry.read_latency_s
+        return self.geometry.read_latency_s + extra
 
     def program_next_page(self, block_idx: int) -> tuple[int, float]:
         """Program the next free page of a block in sequence.

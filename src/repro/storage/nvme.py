@@ -110,6 +110,10 @@ class CompletionQueue:
 
     def __init__(self, depth: int = 64, name: str = "cq") -> None:
         self._ring = _Ring(name, depth)
+        # Armed completion faults (fault injection).
+        self._loss_armed = 0
+        self._delay_armed_s = 0.0
+        self.completions_lost = 0
 
     def __len__(self) -> int:
         return len(self._ring)
@@ -118,8 +122,37 @@ class CompletionQueue:
     def is_empty(self) -> bool:
         return self._ring.is_empty
 
+    # --- fault injection hooks -----------------------------------------
+
+    def arm_loss(self, count: int = 1) -> None:
+        """Silently drop the next ``count`` posted completions."""
+        if count < 1:
+            raise DispatchError(f"loss count must be at least 1, got {count}")
+        self._loss_armed += count
+
+    def arm_delay(self, extra_s: float) -> None:
+        """Make the next completion visible to the host ``extra_s`` late."""
+        if extra_s <= 0:
+            raise DispatchError(f"delay must be positive, got {extra_s}")
+        self._delay_armed_s = extra_s
+
+    def consume_delay(self) -> float:
+        """Host side: the extra wait the next reap must charge, once."""
+        delay, self._delay_armed_s = self._delay_armed_s, 0.0
+        return delay
+
     def post(self, completion: Completion) -> None:
-        """Device side: publish a completion entry."""
+        """Device side: publish a completion entry.
+
+        An armed loss fault swallows the entry: the doorbell-side write
+        happened (the device believes it completed) but the host never
+        sees it — exactly the failure the dispatcher's deadline/retry
+        machinery exists to survive.
+        """
+        if self._loss_armed > 0:
+            self._loss_armed -= 1
+            self.completions_lost += 1
+            return
         self._ring.push(completion)
 
     def reap(self) -> Completion:
@@ -140,6 +173,9 @@ class QueuePair:
 
     sq: SubmissionQueue = field(default_factory=SubmissionQueue)
     cq: CompletionQueue = field(default_factory=CompletionQueue)
+    #: Absolute sim time until which the pair makes no progress
+    #: (fault injection: controller firmware busy / queue stall).
+    stalled_until: float = 0.0
 
     @classmethod
     def create(cls, depth: int = 64, name: str = "qp") -> "QueuePair":
@@ -147,3 +183,18 @@ class QueuePair:
             sq=SubmissionQueue(depth=depth, name=f"{name}.sq"),
             cq=CompletionQueue(depth=depth, name=f"{name}.cq"),
         )
+
+    def stall(self, until: float) -> None:
+        """Stall both rings until absolute sim time ``until``."""
+        self.stalled_until = max(self.stalled_until, until)
+
+    def stalled_at(self, now: float) -> bool:
+        return now < self.stalled_until
+
+    def clear(self) -> None:
+        """Drop every in-flight entry (device reset loses them)."""
+        while not self.sq.is_empty:
+            self.sq.fetch()
+        while not self.cq.is_empty:
+            self.cq.reap()
+        self.stalled_until = 0.0

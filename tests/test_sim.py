@@ -161,3 +161,86 @@ class TestSimulator:
         sim.schedule_at(2.0, lambda: None)
         sim.run_all()
         assert sim.events_fired == 2
+
+
+class TestEngineEdgeCases:
+    """Edge cases the fault injector leans on."""
+
+    def test_cancel_after_pop_is_harmless(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        popped = queue.pop()
+        assert popped is event
+        event.cancel()  # already popped: must not corrupt the heap
+        assert queue.pop() is None
+        assert len(queue) == 0
+
+    def test_cancel_fired_simulator_event_is_harmless(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule_at(1.0, lambda: fired.append(sim.now))
+        sim.run_until(2.0)
+        assert fired == [1.0]
+        event.cancel()  # disarming an injector after its fault fired
+        sim.run_until(3.0)
+        assert fired == [1.0]
+
+    def test_same_time_order_stable_under_interleaved_cancel(self):
+        queue = EventQueue()
+        fired = []
+        events = [queue.push(1.0, lambda i=i: fired.append(i)) for i in range(6)]
+        events[1].cancel()
+        events[4].cancel()
+        # Re-scheduling at the same timestamp lands after survivors.
+        queue.push(1.0, lambda: fired.append(6))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert fired == [0, 2, 3, 5, 6]
+
+    def test_schedule_then_cancel_then_reschedule_keeps_fifo(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append("a"))
+        doomed = sim.schedule_at(1.0, lambda: fired.append("x"))
+        sim.schedule_at(1.0, lambda: fired.append("b"))
+        doomed.cancel()
+        sim.schedule_at(1.0, lambda: fired.append("c"))
+        sim.run_all()
+        assert fired == ["a", "b", "c"]
+
+    def test_injector_events_interleave_with_availability_changes(self):
+        """Fault events and experiment throttles share one queue.
+
+        A throttle (availability change), a fault, and a recovery all
+        scheduled at the same machine must fire in timestamp order with
+        same-time FIFO stability, regardless of scheduling order.
+        """
+        from repro.config import SystemConfig
+        from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+        from repro.hw.topology import build_machine
+
+        machine = build_machine(SystemConfig())
+        cse = machine.csd.cse
+        trace = []
+
+        machine.simulator.schedule_at(
+            1.5, lambda: (cse.set_availability(0.3), trace.append("throttle"))
+        )
+        injector = FaultInjector(machine, FaultPlan((
+            FaultSpec(kind=FaultKind.CSE_CRASH, at_time=1.0, duration_s=1.0),
+        )))
+        injector.arm()
+        machine.simulator.schedule_at(
+            1.0, lambda: trace.append(f"observer crashed={cse.crashed}")
+        )
+
+        machine.simulator.run_until(3.0)
+        # The injector armed first at t=1.0, so the observer sees the
+        # crash; the throttle lands mid-outage; the reset restores a
+        # clean availability of 1.0 afterwards.
+        assert trace == ["observer crashed=True", "throttle"]
+        assert not cse.crashed
+        assert cse.availability == 1.0
+        assert [event.action for event in injector.log.events] == [
+            "injected", "recovered",
+        ]

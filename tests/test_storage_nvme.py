@@ -79,3 +79,82 @@ class TestQueuePair:
         command = qp.sq.fetch()
         qp.cq.post(Completion(command_id=command.command_id))
         assert qp.cq.reap().command_id == command_id
+
+
+class TestRingWraparound:
+    """The head/tail arithmetic across many wrap cycles."""
+
+    def test_many_wrap_cycles_preserve_fifo(self):
+        sq = SubmissionQueue(depth=4)
+        fetched = []
+        for round_number in range(10):  # 10 cycles around a 4-slot ring
+            ids = [sq.submit("exec", payload=round_number) for _ in range(3)]
+            assert sq.is_full
+            fetched.extend(sq.fetch().command_id for _ in ids)
+            assert fetched[-3:] == ids
+            assert sq.is_empty
+        assert fetched == sorted(fetched)
+
+    def test_usable_capacity_is_depth_minus_one(self):
+        sq = SubmissionQueue(depth=8)
+        for _ in range(7):
+            sq.submit("exec")
+        assert sq.is_full
+        with pytest.raises(DispatchError):
+            sq.submit("exec")
+
+    def test_partial_drain_across_the_seam(self):
+        sq = SubmissionQueue(depth=4)
+        a = sq.submit("exec")
+        b = sq.submit("exec")
+        assert sq.fetch().command_id == a
+        # head has advanced; these pushes wrap tail past the seam.
+        c = sq.submit("exec")
+        d = sq.submit("exec")
+        assert sq.is_full
+        assert [sq.fetch().command_id for _ in range(3)] == [b, c, d]
+        assert sq.is_empty
+
+    def test_len_tracks_occupancy_through_wraps(self):
+        cq = CompletionQueue(depth=3)
+        for i in range(9):
+            cq.post(Completion(command_id=i))
+            assert len(cq) == 1
+            assert cq.reap().command_id == i
+            assert len(cq) == 0
+
+
+class TestCompletionFaultHooks:
+    def test_armed_loss_swallows_exactly_count(self):
+        cq = CompletionQueue()
+        cq.arm_loss(2)
+        for i in range(3):
+            cq.post(Completion(command_id=i))
+        assert cq.completions_lost == 2
+        assert [c.command_id for c in cq.drain()] == [2]
+
+    def test_armed_delay_consumed_once(self):
+        cq = CompletionQueue()
+        cq.arm_delay(0.25)
+        assert cq.consume_delay() == 0.25
+        assert cq.consume_delay() == 0.0
+
+
+class TestQueuePairFaultState:
+    def test_stall_takes_the_maximum(self):
+        qp = QueuePair.create()
+        qp.stall(2.0)
+        qp.stall(1.0)  # an earlier stall never shortens the window
+        assert qp.stalled_until == 2.0
+        assert qp.stalled_at(1.5)
+        assert not qp.stalled_at(2.0)
+
+    def test_clear_drops_in_flight_entries_and_stall(self):
+        qp = QueuePair.create(depth=8)
+        qp.sq.submit("exec")
+        qp.cq.post(Completion(command_id=0))
+        qp.stall(5.0)
+        qp.clear()
+        assert qp.sq.is_empty
+        assert qp.cq.is_empty
+        assert not qp.stalled_at(0.0)
