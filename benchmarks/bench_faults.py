@@ -15,7 +15,7 @@ from repro.faults import FaultKind, FaultPlan, FaultSpec
 from repro.runtime.activepy import ActivePy
 from repro.workloads import get_workload
 
-from .conftest import run_once
+from .conftest import run_once, write_bench_json
 
 _SCALE = 2 ** -4
 
@@ -44,6 +44,14 @@ def test_no_fault_overhead(benchmark):
     print(f"armed injector : {armed.total_seconds:.6f} s "
           f"({overhead * 100:+.4f}%)")
 
+    write_bench_json("faults", {
+        "no_fault_overhead": {
+            "plain_seconds": plain.total_seconds,
+            "armed_seconds": armed.total_seconds,
+            "overhead_fraction": overhead,
+        },
+    })
+
     # The simulator is deterministic: armed-but-idle must be exact.
     assert armed.total_seconds == plain.total_seconds
     assert not armed.result.degraded
@@ -65,6 +73,16 @@ def test_crash_recovery_cost(benchmark):
           f"({slowdown:.2f}x, degraded={crashed.result.degraded})")
     for event in crashed.result.fault_events:
         print(f"  {event.render()}")
+
+    write_bench_json("faults", {
+        "crash_recovery": {
+            "healthy_seconds": plain.total_seconds,
+            "crashed_seconds": crashed.total_seconds,
+            "slowdown": slowdown,
+            "degraded": crashed.result.degraded,
+            "actions": [event.action for event in crashed.result.fault_events],
+        },
+    })
 
     assert crashed.result.degraded
     assert crashed.total_seconds > plain.total_seconds

@@ -15,7 +15,33 @@ several benchmarks share is computed once.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
+#: Machine-readable benchmark results land next to the repo root as
+#: ``BENCH_<name>.json`` so CI and scripts can diff them across runs.
+_BENCH_DIR = Path(__file__).resolve().parents[1]
+
 
 def run_once(benchmark, fn):
     """Benchmark a deterministic experiment with a single round."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write one benchmark module's results as ``BENCH_<name>.json``.
+
+    Modules accumulate into the same file across their tests (read,
+    merge, rewrite), so a partial run still leaves valid JSON behind.
+    """
+    path = _BENCH_DIR / f"BENCH_{name}.json"
+    merged: dict = {}
+    if path.exists():
+        try:
+            merged = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            merged = {}
+    merged.update(payload)
+    path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path

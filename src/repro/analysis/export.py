@@ -82,7 +82,11 @@ def to_jsonable(result: Any) -> Any:
             "makespan": result.makespan,
             "busy": result.summary(),
         }
-    if isinstance(result, list):
+    if isinstance(result, dict):
+        return {str(key): to_jsonable(value) for key, value in result.items()}
+    if isinstance(result, (str, int, float, bool)) or result is None:
+        return result
+    if isinstance(result, (list, tuple)):
         return [to_jsonable(item) for item in result]
     if dataclasses.is_dataclass(result) and not isinstance(result, type):
         return dataclasses.asdict(result)

@@ -1,0 +1,109 @@
+"""Delta-debugging minimisation of a failing :class:`FaultPlan`.
+
+A campaign failure usually involves a plan of several faults, most of
+which are bystanders.  ``shrink_plan`` runs Zeller's ddmin over the
+plan's specs: repeatedly re-run the workload on fresh machines with
+subsets of the faults removed, keeping any smaller plan that still
+reproduces the violation.  Because fault injection is deterministic,
+the ``reproduces`` predicate is a pure function of the plan and the
+search converges to a **1-minimal** plan — removing any single
+remaining fault makes the violation disappear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from ..faults.spec import FaultPlan, FaultSpec
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """The distilled plan plus the cost of finding it."""
+
+    minimal: FaultPlan
+    #: How many candidate plans were executed.
+    probes: int
+    #: True when the probe budget ran out before convergence (the
+    #: returned plan still reproduces, it just may not be 1-minimal).
+    budget_exhausted: bool
+
+
+def shrink_plan(
+    plan: FaultPlan,
+    reproduces: Callable[[FaultPlan], bool],
+    max_probes: int = 128,
+) -> ShrinkResult:
+    """Minimise ``plan`` while ``reproduces(candidate)`` stays true.
+
+    ``reproduces`` must be deterministic (run the candidate on a fresh
+    machine and report whether the invariant violation recurs) and must
+    hold for ``plan`` itself — that is asserted up front so a flaky
+    predicate fails loudly instead of "shrinking" to nonsense.
+    """
+    probes = 0
+    exhausted = False
+
+    def probe(candidate: FaultPlan) -> bool:
+        nonlocal probes
+        probes += 1
+        return reproduces(candidate)
+
+    if not probe(plan):
+        raise ValueError(
+            "the full plan does not reproduce the violation; refusing to shrink"
+        )
+
+    specs: List[FaultSpec] = list(plan.sorted_specs())
+    granularity = 2
+    while len(specs) >= 2:
+        if probes >= max_probes:
+            exhausted = True
+            break
+        chunk = max(1, len(specs) // granularity)
+        reduced = False
+        # Try every complement: the plan with one chunk of faults removed.
+        for start in range(0, len(specs), chunk):
+            complement = specs[:start] + specs[start + chunk:]
+            if not complement:
+                continue
+            if probes >= max_probes:
+                exhausted = True
+                break
+            if probe(FaultPlan(specs=tuple(complement), seed=plan.seed)):
+                specs = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if exhausted:
+            break
+        if not reduced:
+            if granularity >= len(specs):
+                # Every single-fault removal was tried and none
+                # reproduces: the plan is 1-minimal.
+                break
+            granularity = min(len(specs), granularity * 2)
+
+    return ShrinkResult(
+        minimal=FaultPlan(specs=tuple(specs), seed=plan.seed),
+        probes=probes,
+        budget_exhausted=exhausted,
+    )
+
+
+def render_plan(plan: FaultPlan) -> Tuple[str, ...]:
+    """Human-readable one-liners for each fault in a plan."""
+    lines = []
+    for spec in plan.sorted_specs():
+        parts = [f"{spec.kind.value} @ {spec.at_time:.6f}s on {spec.target}"]
+        if spec.duration_s:
+            parts.append(f"duration {spec.duration_s:.6f}s")
+        if spec.count != 1:
+            parts.append(f"count {spec.count}")
+        if spec.factor != 1.0:
+            parts.append(f"factor {spec.factor:.2f}")
+        if spec.persistent:
+            parts.append("persistent")
+        lines.append(", ".join(parts))
+    return tuple(lines)

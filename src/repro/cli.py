@@ -7,6 +7,8 @@
     python -m repro table1                     # regenerate Table I
     python -m repro fig2 | fig4 | fig5         # regenerate a figure
     python -m repro ladder | prediction        # the §V results
+    python -m repro chaos [--runs N]           # randomized fault campaign
+    python -m repro chaos --workload W --seed S  # replay one seeded run
     python -m repro ... --json out.json        # archive the raw result
 
 Every command runs on the simulated platform; ``--scale`` shrinks the
@@ -176,6 +178,109 @@ def _cmd_prediction(args) -> int:
     return _print_and_maybe_export(result, text, args.json)
 
 
+def _cmd_chaos(args) -> int:
+    import dataclasses
+
+    from .chaos import CampaignConfig, ChaosHarness, run_campaign
+    from .chaos.campaign import replay_command
+    from .chaos.shrink import render_plan
+    from .config import DEFAULT_CONFIG
+
+    if args.runs < 1:
+        print(f"repro chaos: error: --runs must be at least 1, got {args.runs}",
+              file=sys.stderr)
+        return 2
+    if args.fault_count < 1:
+        print(f"repro chaos: error: --fault-count must be at least 1, "
+              f"got {args.fault_count}", file=sys.stderr)
+        return 2
+
+    system_config = DEFAULT_CONFIG
+    if args.no_validate:
+        # The deliberately planted bug: trust checkpoint records without
+        # CRC validation.  Campaigns with torn-write faults must catch it.
+        system_config = dataclasses.replace(system_config, checkpoint_validate=False)
+
+    if args.workload is not None:
+        # Replay mode: one fully seeded experiment, verdict on stdout.
+        harness = ChaosHarness(
+            system_config=system_config, scale=args.scale,
+            fault_count=args.fault_count,
+        )
+        outcome = harness.run_seed(args.workload, args.seed)
+        print(f"replaying {args.workload} seed={args.seed} "
+              f"({len(outcome.plan)} fault(s), scale {args.scale})")
+        for text in render_plan(outcome.plan):
+            print(f"  - {text}")
+        print(f"degraded={outcome.degraded}, "
+              f"fault events={outcome.faults_injected}")
+        if outcome.ok:
+            print("all invariants held")
+            return 0
+        for violation in outcome.violations:
+            print(f"VIOLATION {violation.render()}")
+        return 1
+
+    workloads = tuple(name.strip() for name in args.workloads.split(",") if name.strip())
+    from .workloads import workload_names
+
+    unknown = [name for name in workloads if name not in workload_names()]
+    if unknown:
+        print(f"repro chaos: error: unknown workload(s) {unknown}; "
+              f"known: {sorted(workload_names())}", file=sys.stderr)
+        return 2
+    config = CampaignConfig(
+        runs=args.runs,
+        workloads=workloads,
+        base_seed=args.seed,
+        fault_count=args.fault_count,
+        scale=args.scale,
+        system_config=system_config,
+    )
+
+    def progress(outcome):
+        mark = "ok" if outcome.ok else "VIOLATION"
+        print(f"  run {outcome.seed - config.base_seed:>4} "
+              f"{outcome.workload:<14} seed={outcome.seed:<6} "
+              f"degraded={str(outcome.degraded):<5} {mark}")
+
+    result = run_campaign(config, on_outcome=progress if args.verbose else None)
+    print(result.render())
+    if args.json:
+        export.dump(
+            {
+                "runs": result.runs,
+                "violations": result.violations,
+                "ok": result.ok,
+                "outcomes": [
+                    {
+                        "workload": o.workload,
+                        "seed": o.seed,
+                        "degraded": o.degraded,
+                        "faults_injected": o.faults_injected,
+                        "violations": [v.render() for v in o.violations],
+                    }
+                    for o in result.outcomes
+                ],
+                "failures": [
+                    {
+                        "workload": f.outcome.workload,
+                        "seed": f.outcome.seed,
+                        "minimal_plan": [
+                            text for text in render_plan(f.shrink.minimal)
+                        ],
+                        "shrink_probes": f.shrink.probes,
+                        "replay": f.replay_command,
+                    }
+                    for f in result.failures
+                ],
+            },
+            args.json,
+        )
+        print(f"wrote {args.json}")
+    return 0 if result.ok else 1
+
+
 def _cmd_validate(args) -> int:
     from .lang.checks import validate_program
 
@@ -228,11 +333,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list the workload suite").set_defaults(fn=_cmd_list)
 
-    run_parser = sub.add_parser("run", help="run one workload end to end")
-    run_parser.add_argument("workload", choices=sorted(
+    workload_choices = sorted(
         ["blackscholes", "kmeans", "lightgbm", "matrixmul", "mixedgemm",
          "pagerank", "sparsemv", "tpch_q1", "tpch_q6", "tpch_q14"]
-    ))
+    )
+
+    run_parser = sub.add_parser("run", help="run one workload end to end")
+    run_parser.add_argument("workload", choices=workload_choices)
     run_parser.add_argument("--scale", type=float, default=1.0,
                             help="input scale in (0, 1] (default: paper scale)")
     run_parser.add_argument("--trace", action="store_true",
@@ -265,6 +372,40 @@ def build_parser() -> argparse.ArgumentParser:
         cmd = sub.add_parser(name, help=help_text)
         cmd.add_argument("--json", metavar="PATH", default=None)
         cmd.set_defaults(fn=fn)
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="run a randomized fault campaign (or replay one seeded run)",
+    )
+    chaos_parser.add_argument(
+        "--runs", type=int, default=25,
+        help="number of seeded campaign runs (default: 25)",
+    )
+    chaos_parser.add_argument(
+        "--workloads", default=",".join(
+            ("tpch_q6", "kmeans", "blackscholes", "pagerank")
+        ),
+        help="comma-separated workload rotation for the campaign",
+    )
+    chaos_parser.add_argument(
+        "--workload", default=None, choices=workload_choices,
+        help="replay mode: run exactly one workload with --seed and exit",
+    )
+    chaos_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed (campaign) or the exact seed to replay (--workload)",
+    )
+    chaos_parser.add_argument("--fault-count", type=int, default=3, metavar="N")
+    chaos_parser.add_argument("--scale", type=float, default=2**-6)
+    chaos_parser.add_argument(
+        "--no-validate", action="store_true",
+        help="disable checkpoint CRC validation (the planted bug the "
+             "campaign exists to catch)",
+    )
+    chaos_parser.add_argument("--verbose", action="store_true",
+                              help="print a line per campaign run")
+    chaos_parser.add_argument("--json", metavar="PATH", default=None)
+    chaos_parser.set_defaults(fn=_cmd_chaos)
 
     validate_parser = sub.add_parser(
         "validate", help="pre-flight check a workload's program definition"

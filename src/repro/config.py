@@ -155,6 +155,27 @@ class SystemConfig:
     #: before falling back to the host for the rest of the line.
     chunk_replay_limit: int = 2
 
+    # --- line-boundary checkpointing ----------------------------------
+    #: Write a versioned, CRC-protected resume record into BAR shared
+    #: memory at every chunk (dynamic line-instance) boundary, so a
+    #: crash recovery or migration resumes "at a Python-line boundary
+    #: from shared memory" even when a fault tears the write itself.
+    checkpoint_enabled: bool = True
+    #: Alternate between two BAR slots so a torn write can only ever
+    #: corrupt the newest generation, never the last committed one.
+    #: Disabling this is only useful for demonstrating the failure mode
+    #: the protocol exists to prevent.
+    checkpoint_double_buffer: bool = True
+    #: Validate the stored CRC before trusting a record on restore.
+    #: ``False`` is a deliberately planted bug the chaos harness must
+    #: catch (a torn record is then trusted verbatim).
+    checkpoint_validate: bool = True
+    #: Simulated seconds one checkpoint write costs the device.  The
+    #: record rides the status-update page the device already posts, so
+    #: the calibrated default charges nothing; the overhead bench
+    #: sweeps nonzero values.
+    checkpoint_write_cost_s: float = 0.0
+
     def __post_init__(self) -> None:
         positive_fields = (
             "host_ips", "cse_ips", "bw_host_storage", "bw_internal",
@@ -216,6 +237,11 @@ class SystemConfig:
         if self.chunk_replay_limit < 0:
             raise ConfigError(
                 f"chunk_replay_limit must be non-negative, got {self.chunk_replay_limit}"
+            )
+        if self.checkpoint_write_cost_s < 0:
+            raise ConfigError(
+                f"checkpoint_write_cost_s must be non-negative, "
+                f"got {self.checkpoint_write_cost_s}"
             )
         if self.attachment not in ("pcie", "nvmeof"):
             raise ConfigError(

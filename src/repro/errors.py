@@ -90,5 +90,13 @@ class MigrationError(ReproError):
     """A task checkpoint/restore could not be performed."""
 
 
+class CheckpointError(ReproError):
+    """A line-boundary checkpoint record is malformed or misused."""
+
+
 class WorkloadError(ReproError):
     """A workload definition or its dataset is inconsistent."""
+
+
+class ChaosError(ReproError):
+    """A chaos campaign or shrink request is malformed."""

@@ -28,20 +28,34 @@ class FaultInjector:
         self.plan = plan
         self.log = log if log is not None else FaultLog()
         self.injected = 0
+        self.stale_dropped = 0
         self._armed = False
         self._events: List[Event] = []
 
     # --- arming -----------------------------------------------------------
 
     def arm(self) -> None:
-        """Schedule every spec in the plan; idempotent per injector."""
+        """Schedule every spec in the plan; idempotent per injector.
+
+        Device-targeted specs are bound to the target's current
+        firmware generation: a spec describes a flaw in the device
+        state that exists *now*, so if a reset rebirths the device
+        before the spec fires, the fault is stale and must be dropped
+        rather than fired into the new generation.
+        """
         if self._armed:
             raise FaultError("fault plan is already armed on this injector")
         self._armed = True
         for spec in self.plan.sorted_specs():
+            generation = None
+            if spec.kind is not FaultKind.LINK_DEGRADE:
+                try:
+                    generation = self._device(spec).generation
+                except FaultError:
+                    generation = None  # unknown target surfaces at fire time
             event = self.machine.simulator.schedule_at(
                 spec.at_time,
-                lambda spec=spec: self._fire(spec),
+                lambda spec=spec, generation=generation: self._fire(spec, generation),
                 label=f"fault-{spec.kind.value}",
             )
             self._events.append(event)
@@ -72,9 +86,19 @@ class FaultInjector:
             return self.machine.csd.internal_link
         raise FaultError(f"fault targets unknown link {spec.target!r}")
 
-    def _fire(self, spec: FaultSpec) -> None:
+    def _fire(self, spec: FaultSpec, armed_generation: Optional[int] = None) -> None:
         now = self.machine.simulator.now
         kind = spec.kind
+        if armed_generation is not None:
+            device = self._device(spec)
+            if device.generation != armed_generation:
+                self.stale_dropped += 1
+                self.log.record(
+                    now, kind.value, spec.target, "stale-dropped",
+                    f"armed against generation {armed_generation}, device "
+                    f"is now generation {device.generation}",
+                )
+                return
         if kind is FaultKind.NAND_READ_CORRECTABLE:
             device = self._device(spec)
             device.flash.arm_read_fault(
@@ -111,6 +135,10 @@ class FaultInjector:
                 detail = f"reset in {spec.duration_s:.6f}s"
             else:
                 detail = "no self-reset"
+        elif kind is FaultKind.CHECKPOINT_TORN_WRITE:
+            device = self._device(spec)
+            device.checkpoints.arm_torn_write(spec.count)
+            detail = f"next {spec.count} checkpoint write(s) torn"
         elif kind is FaultKind.LINK_DEGRADE:
             link = self._link(spec)
             link.set_degradation(spec.factor)

@@ -35,6 +35,10 @@ class FaultKind(str, enum.Enum):
     CSE_CRASH = "cse-crash"
     #: A link runs at ``factor`` of its bandwidth for ``duration_s``.
     LINK_DEGRADE = "link-degrade"
+    #: The next ``count`` line-boundary checkpoint writes are torn
+    #: mid-DMA (head lands, tail scrambled) — the power-event hazard
+    #: the double-buffer/CRC protocol exists to survive.
+    CHECKPOINT_TORN_WRITE = "checkpoint-torn-write"
 
 
 #: LINK_DEGRADE targets understood by the injector.
@@ -133,16 +137,21 @@ class FaultPlan:
         count: int = 4,
         kinds: Optional[Sequence[FaultKind]] = None,
         target: str = "csd",
+        offset_s: float = 0.0,
     ) -> "FaultPlan":
         """Generate a deterministic plan from a seed.
 
         Fault times are drawn uniformly over the middle 90% of
-        ``horizon_s`` so faults land while work is actually in flight.
-        The same (seed, horizon, count, kinds) always yields the same
-        plan — the stream is a private :class:`random.Random`.
+        ``horizon_s``, shifted by ``offset_s``, so callers can aim
+        faults at the window where work is actually in flight (e.g.
+        past a known sampling/compile prefix).  The same (seed,
+        horizon, count, kinds, offset) always yields the same plan —
+        the stream is a private :class:`random.Random`.
         """
         if horizon_s <= 0:
             raise FaultError(f"horizon_s must be positive, got {horizon_s}")
+        if offset_s < 0:
+            raise FaultError(f"offset_s must be non-negative, got {offset_s}")
         if count < 1:
             raise FaultError(f"count must be at least 1, got {count}")
         rng = random.Random(seed)
@@ -150,7 +159,7 @@ class FaultPlan:
         specs = []
         for _ in range(count):
             kind = rng.choice(chosen_kinds)
-            at_time = rng.uniform(0.05, 0.95) * horizon_s
+            at_time = offset_s + rng.uniform(0.05, 0.95) * horizon_s
             duration = rng.uniform(0.005, 0.05) * horizon_s
             if kind is FaultKind.LINK_DEGRADE:
                 specs.append(FaultSpec(
@@ -161,9 +170,14 @@ class FaultPlan:
                     factor=rng.uniform(0.1, 0.6),
                 ))
             elif kind is FaultKind.CSE_CRASH:
+                # A quarter of generated crashes never self-reset, so
+                # random campaigns exercise the host-fallback/restore
+                # path, not only the in-place replay path.
+                permanent = rng.random() < 0.25
                 specs.append(FaultSpec(
                     kind=kind, at_time=at_time, target=target,
-                    duration_s=rng.uniform(0.2, 1.5) * duration,
+                    duration_s=0.0 if permanent
+                    else rng.uniform(0.2, 1.5) * duration,
                 ))
             elif kind in (FaultKind.NVME_QUEUE_STALL, FaultKind.NVME_COMPLETION_DELAY):
                 specs.append(FaultSpec(
@@ -174,11 +188,22 @@ class FaultPlan:
                     kind=kind, at_time=at_time, target=target,
                     count=rng.randint(1, 2),
                 ))
+            elif kind is FaultKind.CHECKPOINT_TORN_WRITE:
+                specs.append(FaultSpec(
+                    kind=kind, at_time=at_time, target=target,
+                    count=rng.randint(1, 6),
+                ))
             elif kind is FaultKind.NAND_READ_CORRECTABLE:
                 specs.append(FaultSpec(
                     kind=kind, at_time=at_time, target=target,
                     retries=rng.randint(1, 8),
                 ))
             else:  # NAND_READ_UNCORRECTABLE
-                specs.append(FaultSpec(kind=kind, at_time=at_time, target=target))
+                # A third of generated media faults are persistent (the
+                # page is gone, not glitched), forcing the host-fallback
+                # resume path random campaigns must keep honest.
+                specs.append(FaultSpec(
+                    kind=kind, at_time=at_time, target=target,
+                    persistent=rng.random() < 0.3,
+                ))
         return cls(specs=tuple(specs), seed=seed)

@@ -291,6 +291,7 @@ def program_from_function(
             ),
             storage_bytes=lambda n, s=storage_per_record: s * n,
             chunks=chunks,
+            live_vars=tuple(sorted(live_sets[index])),
         ))
 
     program = Program(fn_name, statements)

@@ -71,6 +71,11 @@ class Statement:
         Number of dynamic instances (loop iterations / stream blocks);
         the executor can observe, update status, and migrate between
         chunks.
+    live_vars:
+        Names of the variables still live after this line (from the
+        frontend's liveness analysis).  The executor's line-boundary
+        checkpoint records them as the locals a resume must cover;
+        empty for hand-built programs that never migrate real values.
     """
 
     name: str
@@ -79,6 +84,7 @@ class Statement:
     output_bytes: CostFn
     storage_bytes: CostFn = field(default_factory=lambda: constant(0.0))
     chunks: int = 32
+    live_vars: tuple = ()
 
     def __post_init__(self) -> None:
         if not self.name:

@@ -28,6 +28,7 @@ from ..errors import CseCrashError, FaultError, MigrationError, ProgramError
 from ..faults import FaultEvent, FaultLog
 from ..hw.topology import Machine
 from ..lang.program import Program, Statement
+from .checkpoint import CheckpointManager
 from .codegen import CompiledProgram
 from .dispatch import CallQueueDispatcher, StatusUpdate
 from .estimator import LineEstimate
@@ -68,6 +69,13 @@ class ExecutionResult:
     degraded: bool = False
     #: Device chunks replayed after a transient fault.
     chunk_replays: int = 0
+    #: Chunks actually executed per line index (device + host, replays
+    #: included).  A correct run never executes fewer chunks than a
+    #: line has — the chaos harness's work-conservation invariant.
+    chunks_executed: Dict[int, int] = field(default_factory=dict)
+    #: Line-boundary checkpoint counters (saves/restores/fallbacks/
+    #: restarts/torn_writes) from the :class:`CheckpointManager`.
+    checkpoint_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def migrated(self) -> bool:
@@ -104,8 +112,12 @@ class PlanExecutor:
         self.dispatcher = CallQueueDispatcher(
             machine, device=self.device, fault_log=self.fault_log
         )
+        self.checkpoints = CheckpointManager(
+            device=self.device, config=machine.config, fault_log=self.fault_log
+        )
         self.timeline = timeline
         self.chunk_replays = 0
+        self._chunk_ledger: Dict[int, int] = {}
 
     def _trace(self, start: float, resource: str, kind: str, label: str) -> None:
         if self.timeline is not None:
@@ -132,6 +144,7 @@ class PlanExecutor:
 
         n = float(n_records)
         multiplier = compiled.multiplier
+        self._chunk_ledger = {index: 0 for index in range(len(program))}
         started = machine.now
         d2h_before = machine.d2h_link.bytes_transferred
         remote_before = machine.remote_access_link.bytes_transferred
@@ -202,7 +215,7 @@ class PlanExecutor:
                         f"{statement.name} could not be dispatched: {exc}",
                     )
                     self._run_line_on_host(
-                        statement, instr_total, storage_total, d_in,
+                        index, statement, instr_total, storage_total, d_in,
                         input_remote=value_location == CSD, multiplier=multiplier,
                     )
                     migrated = True
@@ -227,6 +240,9 @@ class PlanExecutor:
                 line_faulted = False
                 replays_left = machine.config.chunk_replay_limit
                 chunk = 0
+                # Commit the line's entry checkpoint so a crash during
+                # the very first chunk still restores to *this* line.
+                self.checkpoints.save(index, 0, statement.live_vars, machine.now)
                 while chunk < chunks:
                     fault: Optional[FaultError] = None
                     try:
@@ -246,24 +262,33 @@ class PlanExecutor:
                         if self._try_chunk_replay(statement, chunk, fault, replays_left):
                             replays_left -= 1
                             self.chunk_replays += 1
+                            # The IPC trend across the fault is noise,
+                            # not congestion; start the monitor fresh.
+                            monitor.reset()
                             continue
                         # Retries exhausted (or the device is beyond
-                        # saving): resume host-side at this chunk — the
-                        # same Python-line boundary the migration path
-                        # uses.
+                        # saving): resume host-side at a Python-line
+                        # boundary.  The resume point comes from the
+                        # BAR checkpoint record, not from host-side
+                        # bookkeeping — the record survives the crash
+                        # (and, double-buffered, a torn write).
+                        resume = self.checkpoints.resume_chunk(
+                            index, chunks, fallback=chunk
+                        )
                         self.fault_log.record(
                             machine.now, "recovery", self.device.name,
                             "host-fallback",
-                            f"{statement.name} resumes on the host at chunk {chunk}",
+                            f"{statement.name} resumes on the host at chunk {resume}",
                         )
                         self.dispatcher.abandon(command_id)
                         self._finish_line_on_host(
+                            index,
                             statement,
                             instr_total,
                             storage_total,
                             d_in,
                             chunks,
-                            first_chunk=chunk,
+                            first_chunk=resume,
                             input_on_device=d_in > 0,
                             multiplier=multiplier,
                         )
@@ -274,7 +299,11 @@ class PlanExecutor:
                         location = HOST
                         break
                     csd_instr_done += instr_total / chunks
+                    self._chunk_ledger[index] += 1
                     chunk += 1
+                    self.checkpoints.save(
+                        index, chunk, statement.live_vars, machine.now
+                    )
                     trigger_cursor = self._apply_progress_triggers(
                         triggers, trigger_cursor, csd_instr_done, total_csd_instr
                     )
@@ -300,14 +329,19 @@ class PlanExecutor:
                     if update.high_priority_pending:
                         self.device.cse.acknowledge_high_priority()
                     # Finish this line's remaining chunks on the host,
-                    # reading the unconsumed input remotely.
+                    # reading the unconsumed input remotely.  The break
+                    # chunk is re-read from the checkpoint record the
+                    # device left in shared memory (paper §III-D).
                     self._finish_line_on_host(
+                        index,
                         statement,
                         instr_total,
                         storage_total,
                         d_in,
                         chunks,
-                        first_chunk=chunk,
+                        first_chunk=(
+                            event.resume_chunk if event.resume_chunk >= 0 else chunk
+                        ),
                         input_on_device=d_in > 0,
                         multiplier=multiplier,
                     )
@@ -332,6 +366,7 @@ class PlanExecutor:
                         )
                         self.dispatcher.abandon(command_id)
                         self._finish_line_on_host(
+                            index,
                             statement,
                             instr_total,
                             storage_total,
@@ -362,7 +397,7 @@ class PlanExecutor:
                 )
             else:
                 self._run_line_on_host(
-                    statement, instr_total, storage_total, d_in,
+                    index, statement, instr_total, storage_total, d_in,
                     input_remote=input_remote, multiplier=multiplier,
                 )
                 value_location = HOST
@@ -400,6 +435,8 @@ class PlanExecutor:
             fault_events=list(self.fault_log.events),
             degraded=degraded,
             chunk_replays=self.chunk_replays,
+            chunks_executed=dict(self._chunk_ledger),
+            checkpoint_stats=self.checkpoints.stats(),
         )
 
     # --- chunk mechanics ----------------------------------------------------
@@ -469,6 +506,7 @@ class PlanExecutor:
 
     def _run_line_on_host(
         self,
+        line_index: int,
         statement: Statement,
         instr_total: float,
         storage_total: float,
@@ -483,10 +521,12 @@ class PlanExecutor:
             if input_remote:
                 moves.append((machine.remote_access_link, d_in / chunks))
             self._chunk(machine.host, moves, instr_total / chunks, multiplier)
+            self._chunk_ledger[line_index] += 1
             machine.simulator.fire_due_events()
 
     def _finish_line_on_host(
         self,
+        line_index: int,
         statement: Statement,
         instr_total: float,
         storage_total: float,
@@ -503,6 +543,7 @@ class PlanExecutor:
             if input_on_device:
                 moves.append((machine.remote_access_link, d_in / chunks))
             self._chunk(machine.host, moves, instr_total / chunks, multiplier)
+            self._chunk_ledger[line_index] += 1
             machine.simulator.fire_due_events()
 
     def _try_chunk_replay(
@@ -660,6 +701,13 @@ class PlanExecutor:
 
         if not forced and host_projection >= device_projection:
             return None
+        # The break chunk the host resumes at is read back from the
+        # checkpoint record in BAR memory — with checkpointing off the
+        # event carries -1 and the caller trusts its own counter.
+        resume = (
+            self.checkpoints.resume_chunk(index, chunks, fallback=chunk)
+            if self.checkpoints.enabled else -1
+        )
         event = perform_migration(
             machine=machine,
             line_index=index,
@@ -668,6 +716,7 @@ class PlanExecutor:
             reason=reason if not forced else f"high-priority request; {reason}",
             projected_device_seconds=device_projection,
             projected_host_seconds=host_projection,
+            resume_chunk=resume,
         )
         self._trace(
             event.sim_time - event.cost_seconds, HOST, "migration",

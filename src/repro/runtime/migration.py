@@ -38,6 +38,11 @@ class MigrationEvent:
     projected_device_seconds: float
     #: Host-side estimate (including this cost) that won.
     projected_host_seconds: float
+    #: Chunk the host actually resumed at, read back from the BAR
+    #: checkpoint record (equals ``chunk`` unless the newest record was
+    #: torn and the previous generation won).  -1 when checkpointing is
+    #: disabled and the host-side counter was trusted instead.
+    resume_chunk: int = -1
 
 
 def migration_cost_estimate(
@@ -73,13 +78,17 @@ def perform_migration(
     reason: str,
     projected_device_seconds: float,
     projected_host_seconds: float,
+    resume_chunk: int = -1,
 ) -> MigrationEvent:
     """Execute the mechanical part of a migration; charge the clock.
 
     Regenerates host code (compile cost), saves locals through the
     device-to-host link, and returns the event record.  The caller —
     the executor — then switches the remaining work to the host and
-    routes live-data reads over the remote-access link.
+    routes live-data reads over the remote-access link, resuming at
+    ``resume_chunk`` as validated against the BAR checkpoint record
+    (:mod:`repro.runtime.checkpoint`) rather than trusting possibly
+    torn shared state.
     """
     start = machine.simulator.now
     config = machine.config
@@ -96,4 +105,5 @@ def perform_migration(
         cost_seconds=cost,
         projected_device_seconds=projected_device_seconds,
         projected_host_seconds=projected_host_seconds,
+        resume_chunk=resume_chunk,
     )

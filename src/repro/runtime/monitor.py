@@ -90,6 +90,11 @@ class RuntimeMonitor:
 
     # --- re-estimation --------------------------------------------------------
 
+    # NOTE: after a device-side chunk replay the executor calls
+    # :meth:`reset` — IPC samples spanning a crash/replay boundary are
+    # fault noise, and a "decreasing trend" assembled across one must
+    # not trigger a spurious migration.
+
     def reestimate_remaining_seconds(
         self,
         remaining_device_compute_s: float,

@@ -14,6 +14,90 @@ from typing import Optional
 from ..errors import StorageError
 from ..memory.address_space import MemoryRegion, SharedAddressSpace
 
+#: Bytes reserved per checkpoint slot in the BAR window.
+CHECKPOINT_SLOT_BYTES = 4096
+
+#: Pattern XOR-ed over the unwritten tail of a torn checkpoint record —
+#: the DMA scribble a power event leaves behind.
+_TORN_SCRAMBLE = 0xA5
+
+
+class CheckpointArea:
+    """Two checkpoint slots in device DRAM, reachable through the BAR.
+
+    The runtime's checkpoint protocol (:mod:`repro.runtime.checkpoint`)
+    alternates writes between the slots so the last *committed* record
+    survives any single torn write.  The area itself is deliberately
+    dumb — it stores whatever bytes it is handed — because the torn
+    write is a *memory* fault: the device loses power or the engine is
+    reset mid-DMA, the head of the record lands, and the tail is left
+    scrambled.  CRC validation on the read side is the runtime's job.
+
+    The area lives in device DRAM, not engine state: it survives a CSE
+    crash and firmware reset, which is exactly why a resume point kept
+    here is recoverable when the engine's own state is not.
+    """
+
+    def __init__(self, device_name: str, region: MemoryRegion) -> None:
+        self.device_name = device_name
+        self.slot_addresses = tuple(
+            region.allocator.allocate(CHECKPOINT_SLOT_BYTES).address
+            for _ in range(2)
+        )
+        self._slots: list[Optional[bytes]] = [None, None]
+        #: Device-side monotone record version; survives runs on the
+        #: same machine so stale records are never mistaken for new.
+        self.next_generation = 0
+        self.writes = 0
+        self.torn_writes = 0
+        self._torn_armed = 0
+
+    # --- fault injection ---------------------------------------------------
+
+    def arm_torn_write(self, count: int = 1) -> None:
+        """The next ``count`` checkpoint writes are torn mid-DMA."""
+        if count < 1:
+            raise StorageError(f"torn-write count must be >= 1, got {count}")
+        self._torn_armed += count
+
+    @property
+    def torn_write_armed(self) -> bool:
+        return self._torn_armed > 0
+
+    # --- slot access --------------------------------------------------------
+
+    def write(self, slot: int, payload: bytes, tear_offset: int) -> bool:
+        """Store a record image into ``slot``.
+
+        Returns True for a clean write.  If a torn-write fault is
+        armed, only the first ``tear_offset`` bytes land; the rest of
+        the record image is scrambled, and False is returned (callers
+        use it only for accounting — the *runtime* never sees this
+        flag, it must discover the tear through CRC validation).
+        """
+        if slot not in (0, 1):
+            raise StorageError(f"checkpoint slot must be 0 or 1, got {slot}")
+        if len(payload) > CHECKPOINT_SLOT_BYTES:
+            raise StorageError(
+                f"checkpoint record of {len(payload)} bytes exceeds the "
+                f"{CHECKPOINT_SLOT_BYTES}-byte slot"
+            )
+        self.writes += 1
+        if self._torn_armed > 0:
+            self._torn_armed -= 1
+            self.torn_writes += 1
+            tear = max(0, min(int(tear_offset), len(payload)))
+            scrambled = bytes(b ^ _TORN_SCRAMBLE for b in payload[tear:])
+            self._slots[slot] = payload[:tear] + scrambled
+            return False
+        self._slots[slot] = bytes(payload)
+        return True
+
+    def read(self, slot: int) -> Optional[bytes]:
+        if slot not in (0, 1):
+            raise StorageError(f"checkpoint slot must be 0 or 1, got {slot}")
+        return self._slots[slot]
+
 
 class BarWindow:
     """A mapped view of device DRAM inside the shared address space."""
@@ -32,6 +116,10 @@ class BarWindow:
         )
         self._binaries: dict[str, int] = {}
         self.bytes_written = 0
+        #: Double-buffered line-boundary resume records (paper §III-D:
+        #: migration resumes "at a Python-line boundary from shared
+        #: memory"); see :mod:`repro.runtime.checkpoint`.
+        self.checkpoints = CheckpointArea(device_name, self.region)
 
     @property
     def base(self) -> int:

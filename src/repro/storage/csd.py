@@ -72,6 +72,15 @@ class ComputationalStorageDevice:
         )
         self.queue_pair = QueuePair.create(name=f"{name}.qp")
         self._stored_bytes: dict[str, float] = {}
+        #: Firmware generation: bumped by every reset.  Faults armed
+        #: against an earlier generation are stale and must be dropped
+        #: by the injector, not fired into the reborn device.
+        self.generation = 0
+
+    @property
+    def checkpoints(self):
+        """The BAR-resident line-boundary checkpoint area."""
+        return self.bar.checkpoints
 
     # --- dataset residency -----------------------------------------------
 
@@ -134,10 +143,13 @@ class ComputationalStorageDevice:
         Anything in flight at crash time stays lost — the host's
         deadline/retry machinery is what recovers the work.  Media
         faults are unaffected: an unreadable NAND page stays unreadable
-        across an engine reset.
+        across an engine reset.  Device DRAM — including the BAR
+        checkpoint area — also survives: the firmware only restarts the
+        engine, which is what makes a BAR-resident resume point useful.
         """
         self.cse.reset()
         self.queue_pair.clear()
+        self.generation += 1
 
     @property
     def healthy(self) -> bool:

@@ -1,0 +1,245 @@
+"""Crash-consistent line-boundary checkpointing.
+
+Covers the record codec, the torn-write/CRC/double-buffer protocol in
+isolation, and the executor-level guarantee: a torn checkpoint write
+never corrupts a resume, and checkpointing off the happy path costs
+exactly nothing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+from repro.hw.topology import build_machine
+from repro.runtime.activepy import ActivePy
+from repro.runtime.checkpoint import (
+    CheckpointManager,
+    CheckpointRecord,
+    decode_record,
+    encode_record,
+    tear_offset,
+)
+from repro.storage.bar import CHECKPOINT_SLOT_BYTES
+
+from .conftest import make_toy_dataset, make_toy_program
+
+
+def _record(generation=0, line_index=1, next_chunk=5,
+            live_vars=("x", "acc"), sim_time=1.25):
+    return CheckpointRecord(
+        generation=generation, line_index=line_index, next_chunk=next_chunk,
+        live_vars=live_vars, sim_time=sim_time,
+    )
+
+
+class TestRecordCodec:
+    def test_roundtrip(self):
+        record = _record()
+        assert decode_record(encode_record(record)) == record
+
+    def test_roundtrip_no_live_vars(self):
+        record = _record(live_vars=())
+        assert decode_record(encode_record(record)) == record
+
+    def test_fits_slot(self):
+        blob = encode_record(_record(live_vars=tuple(f"var_{i}" for i in range(64))))
+        assert len(blob) <= CHECKPOINT_SLOT_BYTES
+
+    def test_crc_rejects_any_corrupted_byte(self):
+        blob = bytearray(encode_record(_record()))
+        for offset in range(len(blob)):
+            corrupt = bytes(blob[:offset]) + bytes([blob[offset] ^ 0x01]) + bytes(blob[offset + 1:])
+            assert decode_record(corrupt) is None, f"flip at byte {offset} accepted"
+
+    def test_validation_off_trusts_scrambled_tail(self):
+        record = _record(next_chunk=5)
+        blob = encode_record(record)
+        tear = tear_offset(record)
+        torn = blob[:tear] + bytes(b ^ 0xA5 for b in blob[tear:])
+        assert decode_record(torn) is None  # CRC catches it...
+        trusted = decode_record(torn, validate=False)  # ...unless told not to
+        assert trusted is not None
+        assert trusted.line_index == record.line_index  # head survived
+        assert trusted.next_chunk != record.next_chunk  # cursor did not
+
+    def test_decode_rejects_garbage(self):
+        assert decode_record(None) is None
+        assert decode_record(b"") is None
+        assert decode_record(b"\x00" * 40) is None
+
+
+class TestCheckpointArea:
+    def test_torn_write_scrambles_only_the_tail(self, machine):
+        area = machine.csd.checkpoints
+        payload = bytes(range(64))
+        area.arm_torn_write(1)
+        assert area.write(0, payload, tear_offset=16) is False
+        stored = area.read(0)
+        assert stored[:16] == payload[:16]
+        assert stored[16:] == bytes(b ^ 0xA5 for b in payload[16:])
+        # the fault is consumed: the next write is clean
+        assert area.write(1, payload, tear_offset=16) is True
+        assert area.read(1) == payload
+
+    def test_area_survives_cse_reset(self, machine):
+        area = machine.csd.checkpoints
+        area.write(0, b"record", tear_offset=0)
+        machine.csd.crash_cse()
+        machine.csd.reset_cse()
+        assert area.read(0) == b"record"
+
+
+class TestCheckpointManager:
+    def _manager(self, machine, **overrides):
+        config = dataclasses.replace(machine.config, **overrides)
+        return CheckpointManager(device=machine.csd, config=config)
+
+    def test_restore_picks_newest_generation(self, machine):
+        manager = self._manager(machine)
+        manager.save(2, 3, ("x",), machine.now)
+        manager.save(2, 4, ("x",), machine.now)
+        record = manager.restore()
+        assert (record.line_index, record.next_chunk) == (2, 4)
+
+    def test_torn_newest_falls_back_to_previous_generation(self, machine):
+        manager = self._manager(machine)
+        manager.save(2, 3, ("x",), machine.now)
+        machine.csd.checkpoints.arm_torn_write(1)
+        manager.save(2, 4, ("x",), machine.now)
+        assert manager.resume_chunk(2, chunks=16, fallback=99) == 3
+        assert manager.fallbacks == 1
+
+    def test_both_slots_torn_restarts_the_line(self, machine):
+        manager = self._manager(machine)
+        machine.csd.checkpoints.arm_torn_write(2)
+        manager.save(2, 3, ("x",), machine.now)
+        manager.save(2, 4, ("x",), machine.now)
+        assert manager.resume_chunk(2, chunks=16, fallback=99) == 0
+        assert manager.restarts == 1
+
+    def test_record_for_other_line_restarts(self, machine):
+        manager = self._manager(machine)
+        manager.save(1, 7, ("x",), machine.now)
+        assert manager.resume_chunk(2, chunks=16, fallback=99) == 0
+
+    def test_cursor_clamped_to_chunk_count(self, machine):
+        manager = self._manager(machine)
+        manager.save(2, 500, ("x",), machine.now)
+        assert manager.resume_chunk(2, chunks=16, fallback=0) == 16
+
+    def test_disabled_trusts_fallback_and_writes_nothing(self, machine):
+        manager = self._manager(machine, checkpoint_enabled=False)
+        manager.save(2, 3, ("x",), machine.now)
+        assert machine.csd.checkpoints.writes == 0
+        assert manager.resume_chunk(2, chunks=16, fallback=7) == 7
+
+    def test_single_buffer_mode_overwrites_in_place(self, machine):
+        manager = self._manager(machine, checkpoint_double_buffer=False)
+        manager.save(2, 3, ("x",), machine.now)
+        manager.save(2, 4, ("x",), machine.now)
+        assert machine.csd.checkpoints.read(1) is None
+
+    def test_write_cost_charges_sim_time(self, machine):
+        manager = self._manager(machine, checkpoint_write_cost_s=0.5)
+        before = machine.now
+        manager.save(0, 1, (), machine.now)
+        assert machine.now == pytest.approx(before + 0.5)
+
+    def test_default_write_cost_is_free(self, machine):
+        manager = self._manager(machine)
+        before = machine.now
+        manager.save(0, 1, (), machine.now)
+        assert machine.now == before
+
+
+def _run_toy(config: SystemConfig, fault_plan=None):
+    machine = build_machine(config)
+    return ActivePy(config).run(
+        make_toy_program(), make_toy_dataset(), machine=machine,
+        fault_plan=fault_plan,
+    )
+
+
+class TestExecutorIntegration:
+    def test_fault_free_run_checkpoints_every_chunk(self, config):
+        report = _run_toy(config)
+        stats = report.result.checkpoint_stats
+        # one entry record per CSD line plus one per completed chunk
+        assert stats["saves"] > 0
+        assert stats["restores"] == 0
+        assert stats["torn_writes"] == 0
+
+    def test_disabled_checkpointing_is_timing_identical(self, config):
+        enabled = _run_toy(config)
+        disabled = _run_toy(
+            dataclasses.replace(config, checkpoint_enabled=False)
+        )
+        assert disabled.total_seconds == enabled.total_seconds
+        assert disabled.result.checkpoint_stats["saves"] == 0
+
+    def test_frontend_live_vars_reach_the_record(self, machine):
+        """Tracer-built programs carry liveness into the record."""
+        from repro.frontend import program_from_function
+
+        def pipeline(x):
+            doubled = x * 2.0
+            total = doubled + 1.0
+            return total
+
+        program = program_from_function(pipeline, record_bytes=8.0)
+        assert any(statement.live_vars for statement in program)
+        manager = CheckpointManager(device=machine.csd, config=machine.config)
+        manager.save(0, 1, program[0].live_vars, machine.now)
+        record = manager.restore()
+        assert record.live_vars == program[0].live_vars
+
+    @staticmethod
+    def _torn_then_crash_plan(baseline):
+        """Tear checkpoints a few chunks before a permanent crash, both
+        inside the first CSD line's execution window."""
+        line0 = baseline.result.line_timings[0]
+        start = baseline.result.started_at
+        return FaultPlan(specs=(
+            FaultSpec(kind=FaultKind.CHECKPOINT_TORN_WRITE,
+                      at_time=start + 0.3 * line0.seconds, count=500),
+            FaultSpec(kind=FaultKind.CSE_CRASH,
+                      at_time=start + 0.5 * line0.seconds, duration_s=0.0),
+        ))
+
+    def test_torn_write_with_crash_never_corrupts_resume(self, config):
+        """The tentpole guarantee, end to end.
+
+        Tear every checkpoint write from mid-line on, then kill the CSE
+        for good: the executor must fall back to the host at a resume
+        point that replays work (never skips it), because CRC
+        validation rejects the torn record and the double buffer serves
+        the previous generation.
+        """
+        baseline = _run_toy(config)
+        report = _run_toy(config, fault_plan=self._torn_then_crash_plan(baseline))
+        result = report.result
+        assert result.degraded
+        assert result.checkpoint_stats["torn_writes"] > 0
+        for index, statement in enumerate(make_toy_program()):
+            assert result.chunks_executed[index] >= statement.chunks
+
+    def test_validation_off_lets_the_torn_cursor_skip_work(self, config):
+        """The deliberately planted bug is a real bug.
+
+        Same scenario as above with CRC validation off: the executor
+        trusts the torn record's scrambled cursor and skips chunks —
+        the violation the chaos campaign exists to catch.
+        """
+        bugged = dataclasses.replace(config, checkpoint_validate=False)
+        baseline = _run_toy(bugged)
+        report = _run_toy(bugged, fault_plan=self._torn_then_crash_plan(baseline))
+        result = report.result
+        skipped = [
+            index for index, statement in enumerate(make_toy_program())
+            if result.chunks_executed[index] < statement.chunks
+        ]
+        assert skipped, "expected the unvalidated torn cursor to skip work"

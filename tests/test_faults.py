@@ -101,6 +101,47 @@ class TestInjectorArming:
         assert machine.d2h_link.degradation == 1.0
         assert injector.log.actions() == ["injected", "recovered"]
 
+    def test_stale_generation_fault_is_dropped_after_reset(self, machine):
+        """A fault armed before a device reset describes a flaw of the
+        old firmware generation; firing it into the rebirthed device
+        would be a phantom failure, so the injector drops it."""
+        injector = FaultInjector(machine, FaultPlan((
+            FaultSpec(kind=FaultKind.NVME_COMPLETION_LOSS, at_time=1.0),
+        )))
+        injector.arm()
+        # a reset (e.g. recovering an earlier crash) bumps the
+        # firmware generation before the armed fault fires
+        machine.csd.crash_cse()
+        machine.csd.reset_cse()
+        machine.simulator.run_until(2.0)
+        assert injector.injected == 0
+        assert injector.stale_dropped == 1
+        assert injector.log.actions() == ["stale-dropped"]
+        assert machine.csd.queue_pair.cq._loss_armed == 0
+
+    def test_same_generation_fault_still_fires(self, machine):
+        injector = FaultInjector(machine, FaultPlan((
+            FaultSpec(kind=FaultKind.NVME_COMPLETION_LOSS, at_time=1.0),
+        )))
+        injector.arm()
+        machine.simulator.run_until(2.0)
+        assert injector.injected == 1
+        assert injector.stale_dropped == 0
+
+    def test_link_faults_ignore_device_generation(self, machine):
+        """Links have no firmware generation; a reset between arm and
+        fire must not suppress a link fault."""
+        injector = FaultInjector(machine, FaultPlan((
+            FaultSpec(kind=FaultKind.LINK_DEGRADE, at_time=1.0, target="d2h",
+                      duration_s=0.5, factor=0.25),
+        )))
+        injector.arm()
+        machine.csd.crash_cse()
+        machine.csd.reset_cse()
+        machine.simulator.run_until(1.1)
+        assert machine.d2h_link.degradation == 0.25
+        assert injector.stale_dropped == 0
+
     def test_crash_and_scheduled_reset(self, machine):
         injector = FaultInjector(machine, FaultPlan((
             FaultSpec(kind=FaultKind.CSE_CRASH, at_time=1.0, duration_s=0.5),
