@@ -22,6 +22,7 @@ from .errors import (
     DeadlineError,
     DeviceLostError,
     FaultError,
+    ObservabilityError,
     ReproError,
     UncorrectableMediaError,
 )
@@ -30,7 +31,8 @@ from .frontend import program_from_function
 from .hw.topology import Machine, build_machine
 from .lang.dataset import Dataset
 from .lang.program import Program, Statement
-from .runtime.activepy import ActivePy, ActivePyReport
+from .obs import Observability
+from .runtime.activepy import ActivePy, ActivePyReport, RunOptions
 from .runtime.codegen import ExecutionMode
 from .runtime.estimator import net_profit
 from .runtime.planner import Plan, assign_csd_code
@@ -60,9 +62,12 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "Machine",
+    "Observability",
+    "ObservabilityError",
     "Plan",
     "Program",
     "ReproError",
+    "RunOptions",
     "UncorrectableMediaError",
     "Statement",
     "StaticIspBaseline",

@@ -16,7 +16,7 @@ from ..config import DEFAULT_CONFIG, SystemConfig
 from ..baselines import StaticIspBaseline, run_c_baseline
 from ..baselines.static_isp import ground_truth_estimates
 from ..hw.topology import build_machine
-from ..runtime.activepy import ActivePy, run_plan
+from ..runtime.activepy import ActivePy, RunOptions, run_plan
 from ..runtime.codegen import ExecutionMode
 from ..runtime.estimator import build_estimates
 from ..runtime.planner import host_only_plan
@@ -235,11 +235,12 @@ def run_fig5(
         baseline = run_c_baseline(workload.program, workload.dataset, config=config)
         for availability in availabilities:
             triggers = [(stress_progress, availability)]
+            options = RunOptions(progress_triggers=tuple(triggers))
             with_migration = ActivePy(config=config, migration_enabled=True).run(
-                workload.program, workload.dataset, progress_triggers=triggers
+                workload.program, workload.dataset, options=options
             )
             without_migration = ActivePy(config=config, migration_enabled=False).run(
-                workload.program, workload.dataset, progress_triggers=triggers
+                workload.program, workload.dataset, options=options
             )
             rows.append(
                 Fig5Row(

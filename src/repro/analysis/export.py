@@ -3,13 +3,18 @@
 Every ``run_*`` driver's result converts to plain dicts/lists so runs
 can be archived, diffed across calibrations, or plotted elsewhere.
 ``to_jsonable`` dispatches on the result type; ``dump`` writes a file.
+
+Result types that speak the :class:`ReportLike` protocol — a
+``summary()`` of headline numbers plus a full ``to_jsonable()`` view,
+both JSON-ready — are handled first and uniformly; the per-figure
+branches below cover the older experiment results that predate it.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Any, IO, Union
+from typing import Any, Dict, IO, Protocol, Union, runtime_checkable
 
 from ..errors import ReproError
 from .experiments import (
@@ -21,9 +26,33 @@ from .experiments import (
 )
 from .timeline import ExecutionTimeline
 
+__all__ = ["ReportLike", "dump", "dumps", "to_jsonable"]
+
+
+@runtime_checkable
+class ReportLike(Protocol):
+    """The common report protocol every top-level result speaks.
+
+    ``ActivePyReport``, ``ExecutionResult``, ``CampaignResult`` and
+    ``ChaosRunOutcome`` all implement it; new result types should too,
+    and then :func:`to_jsonable`/:func:`dump` handle them for free.
+    """
+
+    def summary(self) -> Dict[str, Any]:
+        """Headline numbers only, JSON-ready."""
+        ...
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """The full result as plain dicts/lists/scalars."""
+        ...
+
 
 def to_jsonable(result: Any) -> Any:
     """Convert an experiment result into JSON-compatible structures."""
+    # Protocol speakers first: ExecutionTimeline has summary() but not
+    # to_jsonable(), so it falls through to its dedicated branch.
+    if isinstance(result, ReportLike) and not isinstance(result, type):
+        return result.to_jsonable()
     if isinstance(result, Fig2Result):
         return {
             "experiment": "fig2",

@@ -1,0 +1,138 @@
+"""The blessed import surface, in one flat namespace.
+
+``repro.api`` re-exports every symbol a downstream user is expected to
+touch — running ActivePy, defining programs, building machines, fault
+injection and chaos campaigns, observability, and JSON export — so one
+import line covers a whole experiment script::
+
+    from repro.api import ActivePy, RunOptions, Observability, get_workload
+
+    workload = get_workload("tpch_q6")
+    obs = Observability.with_tracing()
+    report = ActivePy().run(workload.program, workload.dataset,
+                            options=RunOptions(obs=obs))
+
+The symbol list is documented in ``docs/api.md`` (section "The
+``repro.api`` facade"); a test fails whenever the two drift apart, in
+either direction.  Anything importable elsewhere but absent here is
+internal and may move without notice.
+"""
+
+from __future__ import annotations
+
+from . import __version__
+from .analysis.export import ReportLike, dump, dumps, to_jsonable
+from .analysis.timeline import ExecutionTimeline, TimelineSpan
+from .baselines import (
+    StaticIspBaseline,
+    run_c_baseline,
+    run_cython_baseline,
+    run_python_baseline,
+)
+from .chaos import (
+    CampaignConfig,
+    CampaignResult,
+    ChaosHarness,
+    ChaosRunOutcome,
+    run_campaign,
+)
+from .config import DEFAULT_CONFIG, SystemConfig
+from .errors import (
+    ChaosError,
+    DeadlineError,
+    DeviceLostError,
+    FaultError,
+    ObservabilityError,
+    ReproError,
+    UncorrectableMediaError,
+)
+from .faults import FaultEvent, FaultInjector, FaultKind, FaultLog, FaultPlan, FaultSpec
+from .frontend import program_from_function
+from .hw.topology import Machine, build_machine
+from .lang import ProgramBuilder, array_dataset, dataset_of
+from .lang.dataset import Dataset
+from .lang.program import Program, Statement
+from .obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Observability,
+    Span,
+    Tracer,
+    to_chrome_trace,
+    trace_span,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .runtime.activepy import ActivePy, ActivePyReport, RunOptions, run_plan
+from .runtime.codegen import ExecutionMode
+from .runtime.executor import ExecutionResult
+from .runtime.planner import Plan, assign_csd_code
+from .workloads import Workload, all_workloads, get_workload, workload_names
+
+__all__ = [
+    "ActivePy",
+    "ActivePyReport",
+    "CampaignConfig",
+    "CampaignResult",
+    "ChaosError",
+    "ChaosHarness",
+    "ChaosRunOutcome",
+    "Counter",
+    "DEFAULT_CONFIG",
+    "Dataset",
+    "DeadlineError",
+    "DeviceLostError",
+    "ExecutionMode",
+    "ExecutionResult",
+    "ExecutionTimeline",
+    "FaultError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultLog",
+    "FaultPlan",
+    "FaultSpec",
+    "Gauge",
+    "Histogram",
+    "Machine",
+    "MetricsRegistry",
+    "Observability",
+    "ObservabilityError",
+    "Plan",
+    "Program",
+    "ProgramBuilder",
+    "ReportLike",
+    "ReproError",
+    "RunOptions",
+    "Span",
+    "Statement",
+    "StaticIspBaseline",
+    "SystemConfig",
+    "TimelineSpan",
+    "Tracer",
+    "UncorrectableMediaError",
+    "Workload",
+    "__version__",
+    "all_workloads",
+    "array_dataset",
+    "assign_csd_code",
+    "build_machine",
+    "dataset_of",
+    "dump",
+    "dumps",
+    "get_workload",
+    "program_from_function",
+    "run_c_baseline",
+    "run_campaign",
+    "run_cython_baseline",
+    "run_plan",
+    "run_python_baseline",
+    "to_chrome_trace",
+    "to_jsonable",
+    "trace_span",
+    "validate_chrome_trace",
+    "workload_names",
+    "write_chrome_trace",
+]

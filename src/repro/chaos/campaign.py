@@ -14,14 +14,16 @@ config)``, so a reported failure replays bit-for-bit on any machine.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..config import DEFAULT_CONFIG, SystemConfig
 from ..errors import ChaosError
 from ..faults.spec import FaultPlan
 from ..hw.topology import build_machine
-from ..runtime.activepy import ActivePy, ActivePyReport
+from ..obs import Observability
+from ..runtime.activepy import ActivePy, ActivePyReport, RunOptions
 from ..workloads import get_workload
 from .invariants import InvariantViolation, check_invariants
 from .shrink import ShrinkResult, render_plan, shrink_plan
@@ -37,18 +39,54 @@ DEFAULT_WORKLOADS = ("tpch_q6", "kmeans", "blackscholes", "pagerank")
 
 @dataclass(frozen=True)
 class ChaosRunOutcome:
-    """One seeded experiment, judged."""
+    """One seeded experiment, judged.
+
+    ``fault_event_count`` counts every :class:`~repro.faults.FaultEvent`
+    the run logged — injected faults *and* the runtime's recovery
+    actions (the old name ``faults_injected`` undersold what it
+    counted; it survives as a deprecated property).  ``metrics`` is the
+    run's final observability snapshot when the campaign collects one.
+    """
 
     workload: str
     seed: int
     plan: FaultPlan
     violations: Tuple[InvariantViolation, ...]
     degraded: Optional[bool]
-    faults_injected: int
+    fault_event_count: int
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
         return not self.violations
+
+    @property
+    def faults_injected(self) -> int:
+        """Deprecated alias for :attr:`fault_event_count`."""
+        warnings.warn(
+            "ChaosRunOutcome.faults_injected is deprecated; "
+            "use fault_event_count",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self.fault_event_count
+
+    def summary(self) -> Dict[str, Any]:
+        """The judged outcome, JSON-ready (metrics omitted)."""
+        return {
+            "workload": self.workload,
+            "seed": self.seed,
+            "ok": self.ok,
+            "degraded": self.degraded,
+            "fault_event_count": self.fault_event_count,
+            "violations": [v.render() for v in self.violations],
+        }
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"experiment": "chaos-run"}
+        payload.update(self.summary())
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics
+        return payload
 
 
 @dataclass(frozen=True)
@@ -87,6 +125,10 @@ class CampaignConfig:
     system_config: SystemConfig = DEFAULT_CONFIG
     shrink_failures: bool = True
     max_shrink_probes: int = 128
+    #: Attach a per-run metrics snapshot to every outcome — the numbers
+    #: a violation repro needs (retries, fallbacks, torn writes) without
+    #: re-running under a debugger.
+    collect_metrics: bool = True
 
     def __post_init__(self) -> None:
         # "0 runs, all invariants held" is the kind of vacuous green a
@@ -128,8 +170,8 @@ class CampaignResult:
             f"{len(self.config.workloads)} workload(s), "
             f"seeds {self.config.base_seed}.."
             f"{self.config.base_seed + max(self.runs - 1, 0)}",
-            f"  faults injected : "
-            f"{sum(o.faults_injected for o in self.outcomes)}",
+            f"  fault events    : "
+            f"{sum(o.fault_event_count for o in self.outcomes)}",
             f"  degraded runs   : {degraded}/{self.runs}",
             f"  violations      : {self.violations}",
         ]
@@ -139,6 +181,39 @@ class CampaignResult:
         if self.ok:
             lines.append("  all invariants held")
         return "\n".join(lines)
+
+    # --- the common report protocol (see analysis/export.py) ---------------
+
+    def summary(self) -> Dict[str, Any]:
+        """Campaign headline: pass/fail counts, JSON-ready."""
+        return {
+            "runs": self.runs,
+            "ok": self.ok,
+            "violations": self.violations,
+            "failures": len(self.failures),
+            "fault_event_count": sum(
+                o.fault_event_count for o in self.outcomes
+            ),
+            "degraded_runs": sum(1 for o in self.outcomes if o.degraded),
+            "workloads": list(self.config.workloads),
+            "base_seed": self.config.base_seed,
+        }
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"experiment": "chaos-campaign"}
+        payload.update(self.summary())
+        payload["outcomes"] = [o.to_jsonable() for o in self.outcomes]
+        payload["failures"] = [
+            {
+                "workload": f.outcome.workload,
+                "seed": f.outcome.seed,
+                "minimal_plan": list(render_plan(f.shrink.minimal)),
+                "shrink_probes": f.shrink.probes,
+                "replay": f.replay_command,
+            }
+            for f in self.failures
+        ]
+        return payload
 
 
 class ChaosHarness:
@@ -154,10 +229,12 @@ class ChaosHarness:
         system_config: SystemConfig = DEFAULT_CONFIG,
         scale: float = DEFAULT_SCALE,
         fault_count: int = 3,
+        collect_metrics: bool = False,
     ) -> None:
         self.system_config = system_config
         self.scale = scale
         self.fault_count = fault_count
+        self.collect_metrics = collect_metrics
         self._baselines: Dict[str, ActivePyReport] = {}
 
     # --- building blocks --------------------------------------------------
@@ -193,11 +270,12 @@ class ChaosHarness:
         """Run one workload under one plan on a fresh machine and judge it."""
         baseline = self.baseline(workload_name)
         workload = get_workload(workload_name, scale=self.scale)
-        machine = build_machine(self.system_config)
+        obs = Observability() if self.collect_metrics else None
+        machine = build_machine(self.system_config, obs=obs)
         try:
             report = ActivePy(self.system_config).run(
-                workload.program, workload.dataset,
-                machine=machine, fault_plan=plan,
+                workload.program, workload.dataset, machine=machine,
+                options=RunOptions(fault_plan=plan, obs=obs),
             )
         except Exception as exc:  # noqa: BLE001 — the invariant under test
             return ChaosRunOutcome(
@@ -209,7 +287,10 @@ class ChaosHarness:
                     f"{type(exc).__name__}: {exc}",
                 ),),
                 degraded=None,
-                faults_injected=0,
+                fault_event_count=0,
+                # The snapshot matters *most* here: it shows what the
+                # machine was doing when the run blew up.
+                metrics=obs.snapshot() if obs is not None else None,
             )
         violations = check_invariants(report, baseline, workload.program)
         return ChaosRunOutcome(
@@ -218,7 +299,8 @@ class ChaosHarness:
             plan=plan,
             violations=tuple(violations),
             degraded=report.result.degraded,
-            faults_injected=len(report.result.fault_events),
+            fault_event_count=len(report.result.fault_events),
+            metrics=obs.snapshot() if obs is not None else None,
         )
 
     def run_seed(self, workload_name: str, seed: int) -> ChaosRunOutcome:
@@ -256,6 +338,7 @@ def run_campaign(
         system_config=config.system_config,
         scale=config.scale,
         fault_count=config.fault_count,
+        collect_metrics=config.collect_metrics,
     )
     result = CampaignResult(config=config)
     for run in range(config.runs):

@@ -4,6 +4,8 @@
 
     python -m repro list                       # the workload suite
     python -m repro run tpch_q6 [--trace]      # one workload end to end
+    python -m repro metrics run tpch_q6        # ... with the metric report
+    python -m repro trace run tpch_q6          # ... exporting a Chrome trace
     python -m repro table1                     # regenerate Table I
     python -m repro fig2 | fig4 | fig5         # regenerate a figure
     python -m repro ladder | prediction        # the §V results
@@ -33,7 +35,8 @@ from .analysis.experiments import (
 )
 from .analysis.report import ascii_bar_chart, format_table
 from .baselines import run_c_baseline
-from .runtime.activepy import ActivePy
+from .obs import Observability
+from .runtime.activepy import ActivePy, RunOptions
 from .units import format_bytes, format_seconds
 from .workloads import get_workload, workload_names
 
@@ -73,7 +76,11 @@ def _cmd_run(args) -> int:
         )
     report = ActivePy().run(
         workload.program, workload.dataset, machine=machine,
-        trace=args.trace, progress_triggers=triggers, fault_plan=fault_plan,
+        options=RunOptions(
+            trace=args.trace,
+            progress_triggers=tuple(triggers),
+            fault_plan=fault_plan,
+        ),
     )
     print(f"C baseline : {format_seconds(baseline.total_seconds)}")
     print(f"ActivePy   : {format_seconds(report.total_seconds)} "
@@ -102,8 +109,48 @@ def _cmd_run(args) -> int:
             machine, total_seconds=report.total_seconds,
         ).render())
     if args.json:
-        export.dump(report.timeline if args.trace else report.plan, args.json)
+        export.dump(report, args.json)
         print(f"wrote {args.json}")
+    return 0
+
+
+def _run_observed(workload_name: str, scale: float, obs: Observability):
+    """Run one workload with a caller-supplied observability handle."""
+    workload = get_workload(workload_name, scale=scale)
+    print(f"running {workload.name} at scale {scale} "
+          f"({format_bytes(workload.raw_bytes)})")
+    report = ActivePy().run(
+        workload.program, workload.dataset, options=RunOptions(obs=obs),
+    )
+    print(f"ActivePy   : {format_seconds(report.total_seconds)}")
+    return report
+
+
+def _cmd_metrics(args) -> int:
+    obs = Observability()
+    _run_observed(args.workload, args.scale, obs)
+    print()
+    print(obs.metrics.render())
+    if args.json:
+        export.dump(obs.snapshot(), args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .obs import validate_chrome_trace, write_chrome_trace
+
+    obs = Observability.with_tracing()
+    _run_observed(args.workload, args.scale, obs)
+    out = args.out if args.out else f"{args.workload}_trace.json"
+    trace = write_chrome_trace(obs.tracer.spans, out)
+    problems = validate_chrome_trace(trace)
+    if problems:
+        for problem in problems:
+            print(f"repro trace: invalid trace: {problem}", file=sys.stderr)
+        return 1
+    print(f"wrote {out} ({len(obs.tracer.spans)} span(s)) — "
+          f"open in chrome://tracing or https://ui.perfetto.dev")
     return 0
 
 
@@ -213,7 +260,7 @@ def _cmd_chaos(args) -> int:
         for text in render_plan(outcome.plan):
             print(f"  - {text}")
         print(f"degraded={outcome.degraded}, "
-              f"fault events={outcome.faults_injected}")
+              f"fault events={outcome.fault_event_count}")
         if outcome.ok:
             print("all invariants held")
             return 0
@@ -247,36 +294,7 @@ def _cmd_chaos(args) -> int:
     result = run_campaign(config, on_outcome=progress if args.verbose else None)
     print(result.render())
     if args.json:
-        export.dump(
-            {
-                "runs": result.runs,
-                "violations": result.violations,
-                "ok": result.ok,
-                "outcomes": [
-                    {
-                        "workload": o.workload,
-                        "seed": o.seed,
-                        "degraded": o.degraded,
-                        "faults_injected": o.faults_injected,
-                        "violations": [v.render() for v in o.violations],
-                    }
-                    for o in result.outcomes
-                ],
-                "failures": [
-                    {
-                        "workload": f.outcome.workload,
-                        "seed": f.outcome.seed,
-                        "minimal_plan": [
-                            text for text in render_plan(f.shrink.minimal)
-                        ],
-                        "shrink_probes": f.shrink.probes,
-                        "replay": f.replay_command,
-                    }
-                    for f in result.failures
-                ],
-            },
-            args.json,
-        )
+        export.dump(result, args.json)
         print(f"wrote {args.json}")
     return 0 if result.ok else 1
 
@@ -372,6 +390,37 @@ def build_parser() -> argparse.ArgumentParser:
         cmd = sub.add_parser(name, help=help_text)
         cmd.add_argument("--json", metavar="PATH", default=None)
         cmd.set_defaults(fn=fn)
+
+    metrics_parser = sub.add_parser(
+        "metrics", help="observability: run a workload and report its metrics"
+    )
+    metrics_sub = metrics_parser.add_subparsers(dest="metrics_command",
+                                                required=True)
+    metrics_run = metrics_sub.add_parser(
+        "run", help="run one workload with metrics collection enabled"
+    )
+    metrics_run.add_argument("workload", choices=workload_choices)
+    metrics_run.add_argument("--scale", type=float, default=1.0,
+                             help="input scale in (0, 1]")
+    metrics_run.add_argument("--json", metavar="PATH", default=None,
+                             help="also write the metrics snapshot as JSON")
+    metrics_run.set_defaults(fn=_cmd_metrics)
+
+    trace_parser = sub.add_parser(
+        "trace", help="observability: run a workload and export a Chrome trace"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+    trace_run = trace_sub.add_parser(
+        "run", help="run one workload with span tracing enabled"
+    )
+    trace_run.add_argument("workload", choices=workload_choices)
+    trace_run.add_argument("--scale", type=float, default=1.0,
+                           help="input scale in (0, 1]")
+    trace_run.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="Chrome trace_event output path (default: <workload>_trace.json)",
+    )
+    trace_run.set_defaults(fn=_cmd_trace)
 
     chaos_parser = sub.add_parser(
         "chaos",

@@ -100,3 +100,7 @@ class WorkloadError(ReproError):
 
 class ChaosError(ReproError):
     """A chaos campaign or shrink request is malformed."""
+
+
+class ObservabilityError(ReproError):
+    """A metrics instrument or trace exporter was used incorrectly."""

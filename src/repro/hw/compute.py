@@ -15,9 +15,13 @@ the real system infers congestion from a dropping IPC.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..errors import HardwareError
+from ..obs import Observability
 from ..sim.clock import SimClock
+
+__all__ = ["ComputeUnit", "PerfCounters"]
 
 
 @dataclass
@@ -62,9 +66,19 @@ class ComputeUnit:
     clock_hz:
         Nominal core frequency, used only to convert busy time into
         cycles for the performance counters.
+    obs:
+        Shared observability handle; when enabled the unit feeds
+        ``compute.<name>.*`` metrics (never advancing the clock).
     """
 
-    def __init__(self, name: str, ips: float, clock: SimClock, clock_hz: float = 3.6e9) -> None:
+    def __init__(
+        self,
+        name: str,
+        ips: float,
+        clock: SimClock,
+        clock_hz: float = 3.6e9,
+        obs: Optional[Observability] = None,
+    ) -> None:
         if ips <= 0:
             raise HardwareError(f"compute unit {name!r} needs positive ips, got {ips}")
         if clock_hz <= 0:
@@ -75,6 +89,12 @@ class ComputeUnit:
         self.clock_hz = float(clock_hz)
         self.counters = PerfCounters(_ipc_nominal=ips / clock_hz)
         self._availability = 1.0
+        self.obs = obs if obs is not None else Observability.disabled()
+        # Metric names precomputed so the hot path never formats strings.
+        self._m_busy = f"compute.{name}.busy_seconds"
+        self._m_instr = f"compute.{name}.instructions"
+        self._m_tasks = f"compute.{name}.tasks"
+        self._m_avail = f"compute.{name}.availability"
 
     # --- availability --------------------------------------------------
 
@@ -94,6 +114,8 @@ class ComputeUnit:
         if not 0 < fraction <= 1:
             raise HardwareError(f"availability must lie in (0, 1], got {fraction}")
         self._availability = float(fraction)
+        if self.obs.enabled:
+            self.obs.metrics.gauge(self._m_avail).set(fraction)
 
     @property
     def effective_ips(self) -> float:
@@ -123,6 +145,7 @@ class ComputeUnit:
         self.counters.cycles += elapsed * self.clock_hz
         self.counters.busy_seconds += elapsed
         self.counters.tasks_completed += 1
+        self._record_work(instructions, elapsed)
         return elapsed
 
     def charge(self, instructions: float, elapsed: float) -> None:
@@ -138,6 +161,14 @@ class ComputeUnit:
         self.counters.cycles += elapsed * self.clock_hz
         self.counters.busy_seconds += elapsed
         self.counters.tasks_completed += 1
+        self._record_work(instructions, elapsed)
+
+    def _record_work(self, instructions: float, elapsed: float) -> None:
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            metrics.counter(self._m_busy).inc(elapsed)
+            metrics.counter(self._m_instr).inc(instructions)
+            metrics.counter(self._m_tasks).inc()
 
     def expected_ipc(self) -> float:
         """IPC the unit would show when fully available."""

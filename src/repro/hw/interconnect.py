@@ -12,8 +12,13 @@ of the paper:
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..errors import HardwareError
+from ..obs import Observability
 from ..sim.clock import SimClock
+
+__all__ = ["Link"]
 
 
 class Link:
@@ -25,6 +30,7 @@ class Link:
         bandwidth: float,
         clock: SimClock,
         latency_s: float = 0.0,
+        obs: Optional[Observability] = None,
     ) -> None:
         if bandwidth <= 0:
             raise HardwareError(f"link {name!r} needs positive bandwidth, got {bandwidth}")
@@ -37,6 +43,12 @@ class Link:
         self.bytes_transferred = 0.0
         self.transfers = 0
         self._degradation = 1.0
+        self.obs = obs if obs is not None else Observability.disabled()
+        # Metric names precomputed so the hot path never formats strings.
+        self._m_bytes = f"link.{name}.bytes"
+        self._m_transfers = f"link.{name}.transfers"
+        self._m_messages = f"link.{name}.messages"
+        self._m_degradation = f"link.{name}.degradation"
 
     # --- degradation (fault injection) ---------------------------------
 
@@ -57,6 +69,8 @@ class Link:
                 f"link {self.name!r} degradation factor must lie in (0, 1], got {factor}"
             )
         self._degradation = float(factor)
+        if self.obs.enabled:
+            self.obs.metrics.gauge(self._m_degradation).set(factor)
 
     @property
     def effective_bandwidth(self) -> float:
@@ -83,6 +97,7 @@ class Link:
         self.bytes_transferred += nbytes
         if nbytes > 0:
             self.transfers += 1
+        self._record_traffic(nbytes)
         return elapsed
 
     def account(self, nbytes: float) -> None:
@@ -97,11 +112,21 @@ class Link:
         self.bytes_transferred += nbytes
         if nbytes > 0:
             self.transfers += 1
+        self._record_traffic(nbytes)
+
+    def _record_traffic(self, nbytes: float) -> None:
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            metrics.counter(self._m_bytes).inc(nbytes)
+            if nbytes > 0:
+                metrics.counter(self._m_transfers).inc()
 
     def message(self) -> float:
         """Send a minimal control message (doorbell, status update)."""
         self.clock.advance(self.latency_s)
         self.transfers += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter(self._m_messages).inc()
         return self.latency_s
 
     def reset_stats(self) -> None:

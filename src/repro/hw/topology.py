@@ -18,14 +18,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Tuple
 
+from typing import Optional
+
 from ..config import DEFAULT_CONFIG, SystemConfig
 from ..errors import HardwareError, StorageError
 from ..memory.address_space import SharedAddressSpace
+from ..obs import Observability
 from ..sim.engine import Simulator
 from ..storage.csd import ComputationalStorageDevice
 from ..units import GIB
 from .compute import ComputeUnit
 from .interconnect import Link
+
+__all__ = ["Machine", "build_machine"]
 
 
 @dataclass
@@ -43,6 +48,9 @@ class Machine:
     d2h_link: Link
     #: Host load/store path into CSD memory after a migration (BAR).
     remote_access_link: Link
+    #: The machine-wide observability handle, shared by reference with
+    #: every component.  Disabled by default; see :mod:`repro.obs`.
+    obs: Observability = field(default_factory=Observability.disabled)
 
     def __post_init__(self) -> None:
         if not self.csds:
@@ -91,21 +99,33 @@ class Machine:
 def build_machine(
     config: SystemConfig = DEFAULT_CONFIG,
     num_csds: int = 1,
+    obs: Optional[Observability] = None,
 ) -> Machine:
-    """Construct a fresh machine from a configuration."""
+    """Construct a fresh machine from a configuration.
+
+    ``obs`` is the machine-wide observability handle; omit it for a
+    disabled (zero-overhead) one.  Every component shares the handle by
+    reference, so enabling it later — or pointing it at a caller's
+    sinks via :meth:`~repro.obs.Observability.adopt` — takes effect
+    everywhere at once.
+    """
     if num_csds < 1:
         raise HardwareError(f"num_csds must be at least 1, got {num_csds}")
-    simulator = Simulator()
+    if obs is None:
+        obs = Observability.disabled()
+    simulator = Simulator(obs=obs)
+    obs.bind_clock(simulator.clock)
     space = SharedAddressSpace()
     # Host DRAM first so host allocations land at low addresses.
     space.map_region(name="host.dram", size=64 * GIB, location="host")
-    host = ComputeUnit(name="host", ips=config.host_ips, clock=simulator.clock)
+    host = ComputeUnit(name="host", ips=config.host_ips, clock=simulator.clock, obs=obs)
     csds = tuple(
         ComputationalStorageDevice(
             config=config,
             simulator=simulator,
             space=space,
             name="csd" if index == 0 else f"csd{index}",
+            obs=obs,
         )
         for index in range(num_csds)
     )
@@ -114,18 +134,21 @@ def build_machine(
         bandwidth=config.bw_host_storage,
         clock=simulator.clock,
         latency_s=config.effective_link_latency_s,
+        obs=obs,
     )
     d2h_link = Link(
         name="d2h",
         bandwidth=config.bw_d2h,
         clock=simulator.clock,
         latency_s=config.effective_link_latency_s,
+        obs=obs,
     )
     remote_access_link = Link(
         name="remote-access",
         bandwidth=config.bw_remote_access,
         clock=simulator.clock,
         latency_s=config.effective_link_latency_s,
+        obs=obs,
     )
     return Machine(
         config=config,
@@ -136,4 +159,5 @@ def build_machine(
         host_storage_link=host_storage_link,
         d2h_link=d2h_link,
         remote_access_link=remote_access_link,
+        obs=obs,
     )

@@ -1,0 +1,192 @@
+"""Unified observability: metrics, tracing, and Chrome-trace export.
+
+Every simulated machine carries exactly one :class:`Observability`
+handle (``machine.obs``), created in
+:func:`repro.hw.topology.build_machine` and shared by reference with
+every component — the sim engine, compute units, links, NAND, FTL, the
+dispatcher, the executor, checkpointing and migration.  Components
+guard instrumentation with ``if obs.enabled:``, so a disabled handle
+costs one attribute check per site and **zero simulated seconds**: no
+metric or span ever advances the simulated clock, which is why runs are
+bit-identical with observability on or off (enforced by tests and by
+``benchmarks/bench_obs.py``).
+
+Typical use::
+
+    from repro import ActivePy, RunOptions
+    from repro.obs import Observability
+
+    obs = Observability.with_tracing()
+    report = ActivePy().run(program, dataset, options=RunOptions(obs=obs))
+    print(obs.metrics.render())
+
+    from repro.obs import write_chrome_trace
+    write_chrome_trace(obs.tracer.spans, "trace.json")  # open in Perfetto
+
+The handle is deliberately mutable: when a caller passes its own
+``Observability`` to :meth:`ActivePy.run` alongside a pre-built
+machine, the machine's existing handle :meth:`~Observability.adopt`\\ s
+the caller's sinks, so references components captured at build time
+start feeding the caller's registry without rebuilding the machine.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from .export import to_chrome_trace, validate_chrome_trace, write_chrome_trace
+from .metrics import (
+    DEFAULT_TIME_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .tracer import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS_S",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "Span",
+    "Tracer",
+    "to_chrome_trace",
+    "trace_span",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+
+class Observability:
+    """A shared handle bundling a metrics registry and optional tracer.
+
+    Attributes are mutable on purpose — ``adopt`` redirects them — so
+    components must always reach instruments *through* the handle
+    (``obs.metrics.counter(...)``), never cache instrument objects
+    across calls.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.clock = None  # bound by build_machine to the sim clock
+
+    # --- constructors ------------------------------------------------------
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """A dormant handle: one ``enabled`` check per site, nothing else."""
+        return cls(enabled=False)
+
+    @classmethod
+    def with_tracing(cls) -> "Observability":
+        """An enabled handle that also collects spans."""
+        return cls(enabled=True, tracer=Tracer())
+
+    # --- state -------------------------------------------------------------
+
+    @property
+    def tracing(self) -> bool:
+        """True when spans should be recorded."""
+        return self.enabled and self.tracer is not None
+
+    def bind_clock(self, clock) -> None:
+        """Attach the simulated clock used by :meth:`trace_span`."""
+        self.clock = clock
+
+    def ensure_tracer(self) -> Tracer:
+        """Attach (and return) a tracer if none is present."""
+        if self.tracer is None:
+            self.tracer = Tracer()
+        return self.tracer
+
+    def adopt(self, other: "Observability") -> None:
+        """Redirect this handle's sinks to another handle's.
+
+        After adoption every component holding *this* handle records
+        into ``other``'s registry and tracer.  The clock binding is
+        pushed the other way so ``other`` can open spans against the
+        machine's simulated clock.
+        """
+        if other is self:
+            return
+        self.enabled = other.enabled
+        self.metrics = other.metrics
+        self.tracer = other.tracer
+        if other.clock is None:
+            other.clock = self.clock
+
+    # --- no-op-when-disabled recording helpers -----------------------------
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        if self.enabled:
+            self.metrics.counter(name).inc(amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.metrics.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.metrics.histogram(name).observe(value)
+
+    def record_span(
+        self,
+        name: str,
+        cat: str,
+        resource: str,
+        start: float,
+        end: float,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if self.enabled and self.tracer is not None:
+            self.tracer.record(name, cat, resource, start, end, args)
+
+    @contextmanager
+    def trace_span(
+        self,
+        name: str,
+        cat: str,
+        resource: str,
+        args: Optional[Dict[str, object]] = None,
+    ) -> Iterator[None]:
+        """Record a span covering the simulated time the body advances.
+
+        Requires a bound clock (``build_machine`` binds one).  Reads the
+        clock at entry and exit — the body is what advances it.
+        """
+        if not (self.enabled and self.tracer is not None and self.clock is not None):
+            yield
+            return
+        start = self.clock.now
+        try:
+            yield
+        finally:
+            self.tracer.record(name, cat, resource, start, self.clock.now, args)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Deterministic JSON-ready view of all metrics."""
+        return self.metrics.snapshot()
+
+
+@contextmanager
+def trace_span(
+    obs: Observability,
+    name: str,
+    cat: str,
+    resource: str,
+    args: Optional[Dict[str, object]] = None,
+) -> Iterator[None]:
+    """Free-function form of :meth:`Observability.trace_span`."""
+    with obs.trace_span(name, cat, resource, args):
+        yield

@@ -1,0 +1,138 @@
+"""Trace exporters: Chrome ``trace_event`` JSON (and plain JSON).
+
+:func:`to_chrome_trace` turns a list of spans into the JSON object
+format consumed by ``chrome://tracing`` and https://ui.perfetto.dev —
+complete "X" (duration) events with microsecond timestamps, one tracing
+*thread* per simulated resource (host, csd, d2h, ...), with "M"
+metadata events naming the threads.  :func:`validate_chrome_trace`
+checks an object against the subset of the spec we emit, so tests can
+assert exported files actually load.
+
+Accepts both :class:`repro.obs.tracer.Span` and the legacy
+:class:`repro.analysis.timeline.TimelineSpan` (duck-typed on
+``start``/``end``/``resource`` plus ``name``/``cat`` or
+``label``/``kind``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = [
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+#: The single simulated machine shows up as one tracing process.
+_PID = 1
+
+_US = 1e6  # trace_event timestamps are microseconds
+
+
+def _span_fields(span: object) -> Dict[str, object]:
+    """Normalise a Span or TimelineSpan into trace-event fields."""
+    name = getattr(span, "name", None)
+    if name is None:
+        name = getattr(span, "label")
+    cat = getattr(span, "cat", None)
+    if cat is None:
+        cat = getattr(span, "kind")
+    args = dict(getattr(span, "args", ()) or ())
+    return {
+        "name": name,
+        "cat": cat,
+        "resource": getattr(span, "resource"),
+        "start": getattr(span, "start"),
+        "end": getattr(span, "end"),
+        "args": args,
+    }
+
+
+def to_chrome_trace(spans: Iterable[object]) -> Dict[str, object]:
+    """Render spans as a Chrome ``trace_event`` JSON object.
+
+    Resources map to tracing threads in order of first appearance, so
+    the Perfetto track order matches the plain-text Gantt chart.
+    """
+    events: List[Dict[str, object]] = []
+    tids: Dict[str, int] = {}
+    for span in spans:
+        fields = _span_fields(span)
+        resource = str(fields["resource"])
+        tid = tids.get(resource)
+        if tid is None:
+            tid = tids[resource] = len(tids) + 1
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": resource},
+            })
+        events.append({
+            "name": str(fields["name"]),
+            "cat": str(fields["cat"]),
+            "ph": "X",
+            "ts": float(fields["start"]) * _US,
+            "dur": (float(fields["end"]) - float(fields["start"])) * _US,
+            "pid": _PID,
+            "tid": tid,
+            "args": fields["args"],
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated", "time_unit_source": "seconds"},
+    }
+
+
+def validate_chrome_trace(obj: object) -> List[str]:
+    """Check an object against the trace_event subset we emit.
+
+    Returns a list of problems — empty means the trace is well-formed
+    and will load in ``chrome://tracing``/Perfetto.
+    """
+    problems: List[str] = []
+    if not isinstance(obj, dict):
+        return [f"top level must be an object, got {type(obj).__name__}"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "M"):
+            problems.append(f"{where} has unsupported phase {ph!r}")
+            continue
+        for key in ("name", "pid", "tid"):
+            if key not in event:
+                problems.append(f"{where} is missing {key!r}")
+        if ph == "X":
+            for key in ("ts", "dur", "cat"):
+                if key not in event:
+                    problems.append(f"{where} is missing {key!r}")
+            ts = event.get("ts")
+            dur = event.get("dur")
+            if isinstance(ts, (int, float)) and ts < 0:
+                problems.append(f"{where} has negative ts")
+            if isinstance(dur, (int, float)) and dur < 0:
+                problems.append(f"{where} has negative dur")
+            if not isinstance(ts, (int, float)):
+                problems.append(f"{where} ts must be a number")
+            if not isinstance(dur, (int, float)):
+                problems.append(f"{where} dur must be a number")
+    return problems
+
+
+def write_chrome_trace(spans: Sequence[object], path: str) -> Dict[str, object]:
+    """Export spans to ``path`` as Chrome trace JSON; returns the object."""
+    trace = to_chrome_trace(spans)
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(trace, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    return trace

@@ -1,0 +1,100 @@
+"""The structured span tracer.
+
+A :class:`Tracer` accumulates immutable :class:`Span` records — named,
+categorised intervals of simulated time on a named resource.  It is the
+single source of truth behind both the legacy plain-text
+:class:`~repro.analysis.timeline.ExecutionTimeline` (via
+:meth:`Tracer.to_timeline`) and the Chrome ``trace_event`` export
+(:mod:`repro.obs.export`), so a traced run renders as a Gantt chart and
+opens in Perfetto from the same data.
+
+Spans carry **simulated** timestamps; recording one never advances the
+simulated clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..errors import ObservabilityError
+
+if TYPE_CHECKING:  # pragma: no cover — avoid an import cycle at runtime
+    from ..analysis.timeline import ExecutionTimeline
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named interval of simulated time on one resource.
+
+    ``cat`` is the span's category ("compute", "transfer", "compile",
+    "sampling", "storage", "migration", ...) — it maps to the timeline's
+    ``kind`` and to the Chrome trace event category.
+    """
+
+    name: str
+    cat: str
+    resource: str
+    start: float
+    end: float
+    args: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Tracer:
+    """An append-only log of :class:`Span` records."""
+
+    def __init__(self) -> None:
+        self._spans: List[Span] = []
+
+    def record(
+        self,
+        name: str,
+        cat: str,
+        resource: str,
+        start: float,
+        end: float,
+        args: Optional[Dict[str, object]] = None,
+    ) -> Span:
+        """Append one finished span (simulated timestamps, seconds)."""
+        if end < start:
+            raise ObservabilityError(
+                f"span {name!r} ends before it starts: {start} > {end}"
+            )
+        span = Span(
+            name=name,
+            cat=cat,
+            resource=resource,
+            start=start,
+            end=end,
+            args=tuple(sorted(args.items())) if args else (),
+        )
+        self._spans.append(span)
+        return span
+
+    @property
+    def count(self) -> int:
+        """Number of spans recorded so far (use to mark a position)."""
+        return len(self._spans)
+
+    @property
+    def spans(self) -> List[Span]:
+        return list(self._spans)
+
+    def spans_since(self, mark: int) -> List[Span]:
+        """Spans recorded after a prior :attr:`count` mark."""
+        return list(self._spans[mark:])
+
+    def to_timeline(self, since: int = 0) -> "ExecutionTimeline":
+        """Materialise the legacy plain-text timeline from the span log."""
+        from ..analysis.timeline import ExecutionTimeline
+
+        timeline = ExecutionTimeline()
+        for span in self._spans[since:]:
+            timeline.record(span.start, span.end, span.resource, span.cat, span.name)
+        return timeline

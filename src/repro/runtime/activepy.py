@@ -5,12 +5,18 @@ the rest (paper Figure 3): sampling, curve fitting, Equation-1-driven
 planning, code generation for both units, and monitored execution with
 dynamic migration.  The report returned exposes every intermediate so
 experiments and tests can audit each stage.
+
+Run-shaping knobs (tracing, progress triggers, fault plans, an
+observability handle) travel in a keyword-only :class:`RunOptions`
+dataclass; the pre-redesign ``trace=``/``progress_triggers=`` keywords
+still work for one release behind a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+import warnings
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.timeline import ExecutionTimeline
 from ..config import DEFAULT_CONFIG, SystemConfig
@@ -18,11 +24,46 @@ from ..faults import FaultInjector, FaultPlan
 from ..hw.topology import Machine, build_machine
 from ..lang.dataset import Dataset
 from ..lang.program import Program
+from ..obs import Observability
 from .codegen import CodeGenerator, CompiledProgram, ExecutionMode
 from .estimator import LineEstimate, build_estimates
 from .executor import ExecutionResult, PlanExecutor, ProgressTrigger
 from .planner import Plan, assign_csd_code
 from .sampling import SamplingPhase, SamplingReport
+
+__all__ = ["ActivePy", "ActivePyReport", "RunOptions", "run_plan"]
+
+#: Distinguishes "caller never passed the deprecated keyword" from any
+#: legitimate value (including None/False/()).
+_UNSET: Any = object()
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Everything that shapes one :meth:`ActivePy.run` besides the work.
+
+    Attributes
+    ----------
+    trace:
+        Attach an :class:`ExecutionTimeline` of every span to the
+        report (backed by the observability tracer).
+    progress_triggers:
+        Experiment machinery: ``(progress_fraction, availability)``
+        pairs that throttle the CSE when the offloaded work crosses a
+        progress fraction (the paper's Figure 5 study).
+    fault_plan:
+        Deterministic fault injection (:mod:`repro.faults`) armed
+        before execution.
+    obs:
+        A caller-owned :class:`~repro.obs.Observability` handle; the
+        machine's components record metrics and spans into it.  Omit
+        for a zero-overhead disabled handle.
+    """
+
+    trace: bool = False
+    progress_triggers: Tuple[ProgressTrigger, ...] = ()
+    fault_plan: Optional[FaultPlan] = None
+    obs: Optional[Observability] = None
 
 
 @dataclass
@@ -39,6 +80,9 @@ class ActivePyReport:
     total_seconds: float
     #: Span trace of the run (None unless requested).
     timeline: Optional[ExecutionTimeline] = None
+    #: The observability handle the run recorded into (None when
+    #: observability was disabled for the run).
+    obs: Optional[Observability] = None
 
     @property
     def execution_seconds(self) -> float:
@@ -48,6 +92,29 @@ class ActivePyReport:
     def overhead_seconds(self) -> float:
         """Sampling + code-generation cost (the paper's ~0.1 s claim)."""
         return self.total_seconds - self.result.total_seconds
+
+    # --- the common report protocol (see analysis/export.py) ---------------
+
+    def summary(self) -> Dict[str, Any]:
+        """The headline numbers of the run, JSON-ready."""
+        return {
+            "program": self.program_name,
+            "total_seconds": self.total_seconds,
+            "execution_seconds": self.execution_seconds,
+            "overhead_seconds": self.overhead_seconds,
+            "assignments": list(self.plan.assignments),
+            "migrated": self.result.migrated,
+            "degraded": self.result.degraded,
+        }
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Full JSON-ready view: summary + execution result + metrics."""
+        payload: Dict[str, Any] = {"experiment": "activepy-run"}
+        payload.update(self.summary())
+        payload["result"] = self.result.to_jsonable()
+        if self.obs is not None:
+            payload["metrics"] = self.obs.snapshot()
+        return payload
 
 
 class ActivePy:
@@ -77,37 +144,57 @@ class ActivePy:
         program: Program,
         dataset: Dataset,
         machine: Optional[Machine] = None,
-        progress_triggers: Sequence[ProgressTrigger] = (),
-        trace: bool = False,
+        *,
+        options: Optional[RunOptions] = None,
+        obs: Optional[Observability] = None,
         fault_plan: Optional[FaultPlan] = None,
+        trace: Any = _UNSET,
+        progress_triggers: Any = _UNSET,
     ) -> ActivePyReport:
         """Run an unannotated program end to end.
 
-        ``progress_triggers`` is experiment machinery: throttle the CSE
-        when the offloaded work crosses a progress fraction, as the
-        paper does for its migration study (Figure 5).  With ``trace``
-        the report carries an :class:`ExecutionTimeline` of every span.
-        ``fault_plan`` arms deterministic fault injection
-        (:mod:`repro.faults`) before execution; injected faults and the
-        runtime's recovery actions land on ``result.fault_events``.
+        Run-shaping knobs travel in ``options`` (a :class:`RunOptions`);
+        ``obs`` and ``fault_plan`` are accepted directly as conveniences
+        and override the corresponding ``options`` fields.  The old
+        ``trace=``/``progress_triggers=`` keywords still work behind a
+        :class:`DeprecationWarning`.
+
+        Injected faults and the runtime's recovery actions land on
+        ``result.fault_events``; with tracing the report carries an
+        :class:`ExecutionTimeline` of every span, and with an enabled
+        ``obs`` handle ``report.obs`` exposes the collected metrics.
         """
+        opts = self._resolve_options(
+            options, obs=obs, fault_plan=fault_plan,
+            trace=trace, progress_triggers=progress_triggers,
+        )
         if machine is None:
-            machine = build_machine(self.config)
+            machine = build_machine(self.config, obs=opts.obs)
+        elif opts.obs is not None and machine.obs is not opts.obs:
+            # Pre-built machine: its components already hold the
+            # machine's handle by reference, so point that handle at
+            # the caller's sinks instead of rebuilding the hardware.
+            machine.obs.adopt(opts.obs)
+        handle = machine.obs
+        if opts.trace:
+            # Tracing implies an enabled handle: the timeline is now
+            # materialised from the tracer's span log.
+            handle.enabled = True
+            handle.ensure_tracer()
+        trace_mark = handle.tracer.count if handle.tracer is not None else 0
         device = _resolve_device(machine, dataset)
 
         injector = None
-        if fault_plan is not None and len(fault_plan) > 0:
-            injector = FaultInjector(machine, fault_plan)
+        if opts.fault_plan is not None and len(opts.fault_plan) > 0:
+            injector = FaultInjector(machine, opts.fault_plan)
             injector.arm()
 
-        timeline = ExecutionTimeline() if trace else None
         start = machine.now
 
         # 1. Sampling phase: run the program on scaled sample inputs.
         sampling = self._sampling_phase.run(program, dataset)
         machine.simulator.clock.advance(sampling.sampling_seconds)
-        if timeline is not None:
-            timeline.record(start, machine.now, "host", "sampling", "sampling-phase")
+        handle.record_span("sampling-phase", "sampling", "host", start, machine.now)
 
         # 2. Extrapolate to the raw input; calibrate C from the device's
         #    performance counters.
@@ -126,19 +213,23 @@ class ActivePy:
         compiled = self._codegen.generate(
             machine, program, plan, mode=ExecutionMode.ACTIVEPY, device=device
         )
-        if timeline is not None:
-            timeline.record(compile_start, machine.now, "host", "compile", "codegen")
+        handle.record_span("codegen", "compile", "host", compile_start, machine.now)
 
         # 5. Execute with runtime monitoring (and migration, if enabled).
         executor = PlanExecutor(
             machine, migration_enabled=self.migration_enabled,
-            timeline=timeline, device=device,
+            device=device,
             fault_log=injector.log if injector is not None else None,
         )
         result = executor.execute(
-            compiled, n_records=dataset.n_records, progress_triggers=progress_triggers
+            compiled, n_records=dataset.n_records,
+            progress_triggers=opts.progress_triggers,
         )
 
+        timeline = (
+            handle.tracer.to_timeline(since=trace_mark)
+            if opts.trace and handle.tracer is not None else None
+        )
         return ActivePyReport(
             program_name=program.name,
             sampling=sampling,
@@ -148,7 +239,38 @@ class ActivePy:
             result=result,
             total_seconds=machine.now - start,
             timeline=timeline,
+            obs=handle if handle.enabled else None,
         )
+
+    @staticmethod
+    def _resolve_options(
+        options: Optional[RunOptions],
+        obs: Optional[Observability],
+        fault_plan: Optional[FaultPlan],
+        trace: Any,
+        progress_triggers: Any,
+    ) -> RunOptions:
+        """Fold direct and deprecated keywords into one RunOptions."""
+        opts = options if options is not None else RunOptions()
+        if trace is not _UNSET:
+            warnings.warn(
+                "ActivePy.run(trace=...) is deprecated; "
+                "use options=RunOptions(trace=...)",
+                DeprecationWarning, stacklevel=3,
+            )
+            opts = replace(opts, trace=bool(trace))
+        if progress_triggers is not _UNSET:
+            warnings.warn(
+                "ActivePy.run(progress_triggers=...) is deprecated; "
+                "use options=RunOptions(progress_triggers=...)",
+                DeprecationWarning, stacklevel=3,
+            )
+            opts = replace(opts, progress_triggers=tuple(progress_triggers))
+        if fault_plan is not None:
+            opts = replace(opts, fault_plan=fault_plan)
+        if obs is not None:
+            opts = replace(opts, obs=obs)
+        return opts
 
 
 def _resolve_device(machine: Machine, dataset: Dataset):

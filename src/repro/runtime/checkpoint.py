@@ -147,6 +147,7 @@ class CheckpointManager:
         self.config = config
         self.area = device.checkpoints
         self.fault_log = fault_log if fault_log is not None else FaultLog()
+        self.obs = device.obs
         self.saves = 0
         self.restores = 0
         #: Restores served by the older generation (torn newest slot).
@@ -182,9 +183,15 @@ class CheckpointManager:
         clean = self.area.write(slot, encode_record(record), tear_offset(record))
         self.area.next_generation = generation + 1
         self.saves += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("checkpoint.saves").inc()
+            self.obs.metrics.counter("checkpoint.write_seconds").inc(
+                self.config.checkpoint_write_cost_s
+            )
         if self.config.checkpoint_write_cost_s > 0:
             self.device.simulator.clock.advance(self.config.checkpoint_write_cost_s)
         if not clean:
+            self.obs.count("checkpoint.torn_writes")
             # Accounting only: the host has no idea yet — it will find
             # out through the CRC when (if) it ever restores.
             self.fault_log.record(
@@ -223,10 +230,12 @@ class CheckpointManager:
         if not self.enabled:
             return fallback
         self.restores += 1
+        self.obs.count("checkpoint.restores")
         now = self.device.simulator.now
         record = self.restore()
         if record is None or record.line_index != line_index:
             self.restarts += 1
+            self.obs.count("checkpoint.restarts")
             self.fault_log.record(
                 now, "checkpoint-restore", self.device.name, "restart-line",
                 f"no valid checkpoint for line {line_index}; "
@@ -238,6 +247,7 @@ class CheckpointManager:
             # The newest write never became restorable: we are resuming
             # from the previous committed generation.
             self.fallbacks += 1
+            self.obs.count("checkpoint.fallbacks")
             self.fault_log.record(
                 now, "checkpoint-restore", self.device.name,
                 "fallback-generation",

@@ -25,7 +25,7 @@ from ..errors import ReproError
 from ..hw.topology import build_machine
 from ..lang.dataset import Dataset
 from ..lang.program import Program
-from .activepy import ActivePy, ActivePyReport
+from .activepy import ActivePy, ActivePyReport, RunOptions
 
 
 @dataclass(frozen=True)
@@ -75,7 +75,9 @@ def _run_solo(
     program: Program, dataset: Dataset, config: SystemConfig
 ) -> ActivePyReport:
     machine = build_machine(config)
-    return ActivePy(config).run(program, dataset, machine=machine, trace=True)
+    return ActivePy(config).run(
+        program, dataset, machine=machine, options=RunOptions(trace=True),
+    )
 
 
 def _run_against(
@@ -94,7 +96,9 @@ def _run_against(
             max(window.start, now), shared_availability
         )
         machine.csd.cse.schedule_availability(window.end, 1.0)
-    return ActivePy(config).run(program, dataset, machine=machine, trace=True)
+    return ActivePy(config).run(
+        program, dataset, machine=machine, options=RunOptions(trace=True),
+    )
 
 
 def coschedule_pair(

@@ -56,6 +56,9 @@ class CallQueueDispatcher:
         self.device = device if device is not None else machine.csd
         self.queue_pair = self.device.queue_pair
         self.fault_log = fault_log if fault_log is not None else FaultLog()
+        self.obs = machine.obs
+        self._m_sq_depth = f"nvme.{self.device.name}.sq_depth"
+        self._m_cq_depth = f"nvme.{self.device.name}.cq_depth"
         self.invocations = 0
         self.status_updates = 0
         self.retries = 0
@@ -101,11 +104,15 @@ class CallQueueDispatcher:
         command_id = self.queue_pair.sq.submit(
             opcode="exec", payload={"line": line_name, "binary": binary_address}
         )
+        if self.obs.enabled:
+            self.obs.metrics.gauge(self._m_sq_depth).set(len(self.queue_pair.sq))
         self.machine.d2h_link.message()  # doorbell write
         command = self.queue_pair.sq.fetch()
         if command.command_id != command_id:
             raise DispatchError("queue pair delivered commands out of order")
         self.invocations += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("dispatch.invocations").inc()
         return command_id
 
     def _await_stall_clearance(self) -> None:
@@ -120,6 +127,7 @@ class CallQueueDispatcher:
                 "deadline-exceeded",
                 f"stall of {wait:.6f}s exceeds the {config.command_deadline_s}s deadline",
             )
+            self.obs.count("dispatch.deadline_exceeded")
             raise DeadlineError(
                 f"queue pair of {self.device.name!r} stalled for {wait:.6f}s, "
                 f"beyond the {config.command_deadline_s}s command deadline"
@@ -154,6 +162,7 @@ class CallQueueDispatcher:
             waited += step
             delay *= config.retry_backoff_factor
             self.backpressure_waits += 1
+            self.obs.count("dispatch.backpressure_waits")
         self.fault_log.record(
             self.machine.simulator.now, "backpressure", self.device.name,
             "queue-space-acquired", f"waited {waited:.6f}s for an SQ slot",
@@ -187,11 +196,13 @@ class CallQueueDispatcher:
         """
         config = self.machine.config
         simulator = self.machine.simulator
+        reap_started = simulator.now
         attempts = 0
         while True:
             completion = self._try_reap(command_id)
             if completion is not None:
                 self._completed_ids.add(command_id)
+                self._record_reap(simulator.now - reap_started)
                 return completion
             waited = 0.0
             delay = config.retry_backoff_base_s
@@ -203,6 +214,7 @@ class CallQueueDispatcher:
                 completion = self._try_reap(command_id)
                 if completion is not None:
                     self._completed_ids.add(command_id)
+                    self._record_reap(simulator.now - reap_started)
                     return completion
             if attempts >= config.command_max_retries:
                 self.fault_log.record(
@@ -210,12 +222,14 @@ class CallQueueDispatcher:
                     f"command {command_id} unacknowledged after "
                     f"{attempts} retries; declaring the device lost",
                 )
+                self.obs.count("dispatch.device_lost")
                 raise DeviceLostError(
                     f"device {self.device.name!r} never completed command "
                     f"{command_id} ({attempts} retries exhausted)"
                 )
             attempts += 1
             self.retries += 1
+            self.obs.count("dispatch.retries")
             self.fault_log.record(
                 simulator.now, "recovery", self.device.name, "retry",
                 f"command {command_id} re-submitted (attempt {attempts})",
@@ -226,6 +240,10 @@ class CallQueueDispatcher:
                 # posts a fresh completion; the armed loss fault may
                 # swallow this one too.
                 self.queue_pair.cq.post(Completion(command_id=command_id, status="ok"))
+
+    def _record_reap(self, waited_s: float) -> None:
+        if self.obs.enabled:
+            self.obs.metrics.histogram("dispatch.reap_wait_seconds").observe(waited_s)
 
     def _try_reap(self, command_id: int) -> Optional[Completion]:
         """Reap the completion for ``command_id`` if it is visible now."""
@@ -250,6 +268,7 @@ class CallQueueDispatcher:
             if (completion.command_id in self._completed_ids
                     or completion.command_id in self._abandoned_ids):
                 self.duplicates_dropped += 1
+                self.obs.count("dispatch.duplicates_dropped")
                 self.fault_log.record(
                     simulator.now, "recovery", self.device.name,
                     "duplicate-dropped",
@@ -274,6 +293,9 @@ class CallQueueDispatcher:
         self.queue_pair.cq.post(Completion(command_id=-1, status="status", payload=update))
         self.machine.d2h_link.message()
         self.status_updates += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("dispatch.status_updates").inc()
+            self.obs.metrics.gauge(self._m_cq_depth).set(len(self.queue_pair.cq))
 
     def drain_status(self) -> List[StatusUpdate]:
         """Host side: collect all pending status updates."""

@@ -20,8 +20,8 @@ the remote BAR path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.timeline import ExecutionTimeline
 from ..errors import CseCrashError, FaultError, MigrationError, ProgramError
@@ -87,6 +87,34 @@ class ExecutionResult:
                 return timing.seconds
         raise KeyError(f"no line named {name!r}")
 
+    # --- the common report protocol (see analysis/export.py) ---------------
+
+    def summary(self) -> Dict[str, Any]:
+        """The headline numbers of the execution, JSON-ready."""
+        return {
+            "program": self.program_name,
+            "total_seconds": self.total_seconds,
+            "migrations": len(self.migrations),
+            "degraded": self.degraded,
+            "chunk_replays": self.chunk_replays,
+            "status_updates": self.status_updates,
+            "d2h_bytes": self.d2h_bytes,
+            "remote_access_bytes": self.remote_access_bytes,
+        }
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Full JSON-ready view of the execution."""
+        payload: Dict[str, Any] = {"experiment": "execution-result"}
+        payload.update(self.summary())
+        payload["line_timings"] = [asdict(t) for t in self.line_timings]
+        payload["migration_events"] = [asdict(m) for m in self.migrations]
+        payload["fault_events"] = [asdict(e) for e in self.fault_events]
+        payload["chunks_executed"] = {
+            str(index): count for index, count in sorted(self.chunks_executed.items())
+        }
+        payload["checkpoint_stats"] = dict(self.checkpoint_stats)
+        return payload
+
 
 #: Experiment hook: throttle the CSE when offloaded work crosses a
 #: progress fraction — the paper stresses the device "right after each
@@ -116,12 +144,14 @@ class PlanExecutor:
             device=self.device, config=machine.config, fault_log=self.fault_log
         )
         self.timeline = timeline
+        self.obs = machine.obs
         self.chunk_replays = 0
         self._chunk_ledger: Dict[int, int] = {}
 
     def _trace(self, start: float, resource: str, kind: str, label: str) -> None:
         if self.timeline is not None:
             self.timeline.record(start, self.machine.now, resource, kind, label)
+        self.obs.record_span(label, kind, resource, start, self.machine.now)
 
     # --- public entry ----------------------------------------------------
 
@@ -220,6 +250,7 @@ class PlanExecutor:
                     )
                     migrated = True
                     degraded = True
+                    self.obs.count("executor.host_fallbacks")
                     value_location = HOST
                     self._trace(line_start, HOST, "compute", statement.name)
                     timings.append(
@@ -262,6 +293,7 @@ class PlanExecutor:
                         if self._try_chunk_replay(statement, chunk, fault, replays_left):
                             replays_left -= 1
                             self.chunk_replays += 1
+                            self.obs.count("executor.chunk_replays")
                             # The IPC trend across the fault is noise,
                             # not congestion; start the monitor fresh.
                             monitor.reset()
@@ -296,6 +328,7 @@ class PlanExecutor:
                         line_migrated = True
                         line_faulted = True
                         degraded = True
+                        self.obs.count("executor.host_fallbacks")
                         location = HOST
                         break
                     csd_instr_done += instr_total / chunks
@@ -325,6 +358,7 @@ class PlanExecutor:
                     if event is None:
                         continue
                     migrations.append(event)
+                    self.obs.count("executor.migrations")
                     last_migration_at = machine.now
                     if update.high_priority_pending:
                         self.device.cse.acknowledge_high_priority()
@@ -379,6 +413,7 @@ class PlanExecutor:
                         migrated = True
                         line_migrated = True
                         degraded = True
+                        self.obs.count("executor.host_fallbacks")
                         location = HOST
                 value_location = HOST if line_migrated else CSD
                 self._trace(
@@ -420,6 +455,8 @@ class PlanExecutor:
             self._trace(transfer_start, "d2h", "transfer", "final.output")
 
         finished = machine.now
+        if self.obs.enabled:
+            self.obs.metrics.counter("executor.lines").inc(len(timings))
         return ExecutionResult(
             program_name=program.name,
             total_seconds=finished - started,
@@ -460,11 +497,13 @@ class PlanExecutor:
         max(io, compute), modelling a double-buffered engine.
         """
         machine = self.machine
+        chunk_started = machine.now
         if not machine.config.overlap_io_compute:
             for link, nbytes in moves:
                 if nbytes > 0:
                     self._move(link, nbytes, multiplier)
             unit.execute(instructions)
+            self._record_chunk(unit, chunk_started)
             return
         io_seconds = sum(
             link.transfer_time(nbytes) * multiplier
@@ -477,6 +516,15 @@ class PlanExecutor:
             if nbytes > 0:
                 link.account(nbytes)
         unit.charge(instructions, elapsed)
+        self._record_chunk(unit, chunk_started)
+
+    def _record_chunk(self, unit, chunk_started: float) -> None:
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            metrics.counter(f"executor.chunks.{unit.name}").inc()
+            metrics.histogram("executor.chunk_seconds").observe(
+                self.machine.now - chunk_started
+            )
 
     def _run_chunk_on_csd(
         self,

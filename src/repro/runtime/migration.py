@@ -96,6 +96,9 @@ def perform_migration(
     machine.simulator.clock.advance(config.migration_state_cost_s)
     machine.d2h_link.transfer(_LOCALS_BYTES)
     cost = machine.simulator.now - start
+    if machine.obs.enabled:
+        machine.obs.metrics.counter("migration.count").inc()
+        machine.obs.metrics.counter("migration.cost_seconds").inc(cost)
     return MigrationEvent(
         line_index=line_index,
         line_name=line_name,

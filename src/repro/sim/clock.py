@@ -1,8 +1,17 @@
-"""Simulated monotonic clock."""
+"""Simulated monotonic clock.
+
+The whole machine shares one :class:`SimClock`.  Time only moves
+forward: synchronous costs (compute, transfers, media latency) call
+:meth:`SimClock.advance`, and the event engine calls
+:meth:`SimClock.advance_to` when it dequeues the next event.  All
+timestamps are floats in simulated seconds since machine construction.
+"""
 
 from __future__ import annotations
 
 from ..errors import SimulationError
+
+__all__ = ["SimClock"]
 
 
 class SimClock:

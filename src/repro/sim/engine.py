@@ -9,6 +9,11 @@ Hardware models use this for *asynchronous* behaviour — background
 garbage collection, CSE availability changes, congestion onset — while
 straight-line execution cost is accounted synchronously via
 ``clock.advance``.
+
+When the simulator carries an enabled :class:`~repro.obs.Observability`
+handle it counts scheduled and fired events (``sim.events_scheduled``,
+``sim.events_fired``); metric recording never advances the clock, so
+results are identical with observability on or off.
 """
 
 from __future__ import annotations
@@ -19,7 +24,10 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..errors import SimulationError
+from ..obs import Observability
 from .clock import SimClock
+
+__all__ = ["Event", "EventQueue", "Simulator"]
 
 
 @dataclass(order=True)
@@ -77,10 +85,20 @@ class EventQueue:
 class Simulator:
     """Owns the clock and the event queue; runs events in time order."""
 
-    def __init__(self, clock: Optional[SimClock] = None) -> None:
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        obs: Optional[Observability] = None,
+    ) -> None:
         self.clock = clock if clock is not None else SimClock()
         self.events = EventQueue()
+        self.obs = obs if obs is not None else Observability.disabled()
         self._fired = 0
+
+    def _count_fired(self) -> None:
+        self._fired += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("sim.events_fired").inc()
 
     @property
     def now(self) -> float:
@@ -97,12 +115,16 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event in the past ({time} < {self.clock.now})"
             )
+        if self.obs.enabled:
+            self.obs.metrics.counter("sim.events_scheduled").inc()
         return self.events.push(time, action, label)
 
     def schedule_after(self, delay: float, action: Callable[[], None], label: str = "") -> Event:
         """Schedule ``action`` ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule event with negative delay {delay}")
+        if self.obs.enabled:
+            self.obs.metrics.counter("sim.events_scheduled").inc()
         return self.events.push(self.clock.now + delay, action, label)
 
     def fire_due_events(self) -> int:
@@ -121,7 +143,7 @@ class Simulator:
             event = self.events.pop()
             assert event is not None
             event.action()
-            self._fired += 1
+            self._count_fired()
             fired += 1
 
     def run_until(self, deadline: float) -> None:
@@ -138,7 +160,7 @@ class Simulator:
             assert event is not None
             self.clock.advance_to(max(event.time, self.clock.now))
             event.action()
-            self._fired += 1
+            self._count_fired()
         self.clock.advance_to(deadline)
 
     def run_all(self, max_events: int = 1_000_000) -> None:
@@ -149,5 +171,5 @@ class Simulator:
                 return
             self.clock.advance_to(max(event.time, self.clock.now))
             event.action()
-            self._fired += 1
+            self._count_fired()
         raise SimulationError(f"run_all exceeded {max_events} events; likely a scheduling loop")

@@ -40,10 +40,12 @@ class ComputationalStorageDevice:
         simulator: Simulator,
         space: SharedAddressSpace,
         name: str = "csd",
+        obs=None,
     ) -> None:
         self.name = name
         self.config = config
         self.simulator = simulator
+        self.obs = obs if obs is not None else simulator.obs
         geometry = FlashGeometry(
             channels=config.nand_channels,
             page_bytes=config.nand_page_bytes,
@@ -52,18 +54,24 @@ class ComputationalStorageDevice:
             program_latency_s=config.nand_program_latency_s,
             erase_latency_s=config.nand_erase_latency_s,
         )
-        self.flash = FlashArray(geometry)
-        self.ftl = PageMappingFTL(self.flash)
+        self.flash = FlashArray(
+            geometry, obs=self.obs, metric_prefix=f"{name}.nand",
+        )
+        self.ftl = PageMappingFTL(
+            self.flash, obs=self.obs, metric_prefix=f"{name}.ftl",
+        )
         self.cse = ComputationalStorageEngine(
             ips=config.cse_ips,
             simulator=simulator,
             cores=config.cse_cores,
             name=name,
+            obs=self.obs,
         )
         self.internal_link = Link(
             name=f"{name}.internal",
             bandwidth=config.bw_internal,
             clock=simulator.clock,
+            obs=self.obs,
         )
         self.bar = BarWindow(
             device_name=name,

@@ -19,7 +19,10 @@ from typing import Optional
 
 from ..errors import CseCrashError, HardwareError
 from ..hw.compute import ComputeUnit
+from ..obs import Observability
 from ..sim.engine import Simulator
+
+__all__ = ["ComputationalStorageEngine"]
 
 
 class ComputationalStorageEngine(ComputeUnit):
@@ -32,8 +35,15 @@ class ComputationalStorageEngine(ComputeUnit):
         cores: int = 8,
         clock_hz: float = 2.0e9,
         name: str = "csd",
+        obs: Optional[Observability] = None,
     ) -> None:
-        super().__init__(name=name, ips=ips, clock=simulator.clock, clock_hz=clock_hz)
+        super().__init__(
+            name=name,
+            ips=ips,
+            clock=simulator.clock,
+            clock_hz=clock_hz,
+            obs=obs if obs is not None else simulator.obs,
+        )
         if cores <= 0:
             raise HardwareError(f"CSE needs a positive core count, got {cores}")
         self.cores = cores
@@ -54,6 +64,8 @@ class ComputationalStorageEngine(ComputeUnit):
         """
         self.crashed = True
         self.crashes += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter(f"compute.{self.name}.crashes").inc()
 
     def reset(self) -> None:
         """Firmware reset: the engine comes back clean at full speed."""

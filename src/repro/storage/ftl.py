@@ -14,7 +14,10 @@ from __future__ import annotations
 from typing import Optional
 
 from ..errors import FlashError, StorageError
+from ..obs import Observability
 from .nand import FlashArray, PageState
+
+__all__ = ["PageMappingFTL"]
 
 
 class PageMappingFTL:
@@ -38,6 +41,8 @@ class PageMappingFTL:
         overprovision_fraction: float = 0.1,
         victim_policy: str = "greedy",
         wear_weight: float = 0.5,
+        obs: Optional[Observability] = None,
+        metric_prefix: str = "ftl",
     ) -> None:
         if gc_threshold_blocks < 1:
             raise StorageError("gc_threshold_blocks must be at least 1")
@@ -69,6 +74,11 @@ class PageMappingFTL:
         self.gc_busy_seconds = 0.0
         self.host_writes = 0
         self.total_programs_for_writes = 0
+        self.obs = obs if obs is not None else Observability.disabled()
+        self._m_gc_runs = f"{metric_prefix}.gc_runs"
+        self._m_gc_moved = f"{metric_prefix}.gc_pages_moved"
+        self._m_gc_busy = f"{metric_prefix}.gc_busy_seconds"
+        self._m_host_writes = f"{metric_prefix}.host_writes"
 
     # --- helpers -----------------------------------------------------------
 
@@ -125,6 +135,8 @@ class PageMappingFTL:
         self._p2l[ppn] = lpn
         self.host_writes += 1
         self.total_programs_for_writes += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter(self._m_host_writes).inc()
         return latency + program_latency
 
     def is_mapped(self, lpn: int) -> bool:
@@ -195,6 +207,7 @@ class PageMappingFTL:
             latency = self.array.erase_block(block_id)
             self.gc_runs += 1
             self.gc_busy_seconds += latency
+            self._record_gc(latency, moved=0)
             return latency
 
         victim_id = self._victim_block()
@@ -202,6 +215,7 @@ class PageMappingFTL:
             return None
         victim = self.array.blocks[victim_id]
         latency = 0.0
+        moved_pages = 0
         geometry = self.array.geometry
         for page_idx, state in enumerate(victim.pages):
             if state is not PageState.VALID:
@@ -219,10 +233,20 @@ class PageMappingFTL:
             self._l2p[lpn] = new_ppn
             self._p2l[new_ppn] = lpn
             self.gc_pages_moved += 1
+            moved_pages += 1
         latency += self.array.erase_block(victim_id)
         self.gc_runs += 1
         self.gc_busy_seconds += latency
+        self._record_gc(latency, moved=moved_pages)
         return latency
+
+    def _record_gc(self, latency: float, moved: int) -> None:
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            metrics.counter(self._m_gc_runs).inc()
+            metrics.counter(self._m_gc_busy).inc(latency)
+            if moved:
+                metrics.counter(self._m_gc_moved).inc(moved)
 
     def write_amplification(self) -> float:
         """Total programs issued per host write (1.0 = no GC traffic)."""

@@ -12,8 +12,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Optional
 
 from ..errors import FlashError, UncorrectableMediaError
+from ..obs import Observability
+
+__all__ = ["Block", "FlashArray", "FlashGeometry", "PageState"]
 
 
 class PageState(enum.Enum):
@@ -101,13 +105,26 @@ class FlashArray:
     is on the critical path (foreground read) or background (GC).
     """
 
-    def __init__(self, geometry: FlashGeometry = FlashGeometry()) -> None:
+    def __init__(
+        self,
+        geometry: FlashGeometry = FlashGeometry(),
+        obs: Optional[Observability] = None,
+        metric_prefix: str = "nand",
+    ) -> None:
         self.geometry = geometry
         self.blocks = [Block(geometry, b) for b in range(geometry.total_blocks)]
         self.reads = 0
         self.programs = 0
         self.erases = 0
         self._free_blocks = geometry.total_blocks
+        self.obs = obs if obs is not None else Observability.disabled()
+        # Metric names precomputed so per-page paths never format strings.
+        self._m_reads = f"{metric_prefix}.reads"
+        self._m_programs = f"{metric_prefix}.programs"
+        self._m_erases = f"{metric_prefix}.erases"
+        self._m_ecc = f"{metric_prefix}.ecc_corrected_reads"
+        self._m_uncorrectable = f"{metric_prefix}.uncorrectable_reads"
+        self._m_free_blocks = f"{metric_prefix}.free_blocks"
         # Armed read faults (fault injection): pending fault count, ECC
         # re-read budget for correctable faults, persistence flag for
         # uncorrectable ones.
@@ -168,10 +185,14 @@ class FlashArray:
         if self._fault_correctable:
             self._fault_count -= 1
             self.ecc_corrected_reads += 1
+            if self.obs.enabled:
+                self.obs.metrics.counter(self._m_ecc).inc()
             return self._fault_retries * self.geometry.read_latency_s
         if not self._fault_persistent:
             self._fault_count -= 1
         self.uncorrectable_reads += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter(self._m_uncorrectable).inc()
         raise UncorrectableMediaError(
             "NAND read failed beyond the ECC correction capability"
         )
@@ -207,6 +228,8 @@ class FlashArray:
             raise FlashError(f"page {page_addr} is not valid; cannot read")
         extra = self.consume_read_fault()
         self.reads += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter(self._m_reads).inc()
         return self.geometry.read_latency_s + extra
 
     def program_next_page(self, block_idx: int) -> tuple[int, float]:
@@ -231,6 +254,9 @@ class FlashArray:
         block.valid_pages += 1
         block.write_pointer += 1
         self.programs += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter(self._m_programs).inc()
+            self.obs.metrics.gauge(self._m_free_blocks).set(self._free_blocks)
         page_addr = block_idx * self.geometry.pages_per_block + page_idx
         return page_addr, self.geometry.program_latency_s
 
@@ -261,6 +287,9 @@ class FlashArray:
         block.invalid_pages = 0
         block.erase_count += 1
         self.erases += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter(self._m_erases).inc()
+            self.obs.metrics.gauge(self._m_free_blocks).set(self._free_blocks)
         return self.geometry.erase_latency_s
 
     # --- aggregate state ---------------------------------------------------

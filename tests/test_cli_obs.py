@@ -1,0 +1,51 @@
+"""The observability CLI: repro metrics run / repro trace run."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.obs import validate_chrome_trace
+
+_SCALE = "0.0078125"  # 2**-7
+
+
+class TestParser:
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        for argv in (
+            ["metrics", "run", "tpch_q6"],
+            ["trace", "run", "tpch_q6"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.fn)
+
+    def test_bare_metrics_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["metrics"])
+
+
+class TestMetricsRun:
+    def test_prints_metric_report(self, capsys):
+        assert main(["metrics", "run", "tpch_q6", "--scale", _SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "executor.lines" in out
+        assert "dispatch.invocations" in out
+
+    def test_json_snapshot(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        assert main(["metrics", "run", "tpch_q6", "--scale", _SCALE,
+                     "--json", str(path)]) == 0
+        snapshot = json.loads(path.read_text())
+        assert snapshot["counters"]["executor.lines"] > 0
+
+
+class TestTraceRun:
+    def test_writes_valid_chrome_trace(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(["trace", "run", "tpch_q6", "--scale", _SCALE,
+                     "--out", str(path)]) == 0
+        trace = json.loads(path.read_text())
+        assert validate_chrome_trace(trace) == []
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+        assert "perfetto" in capsys.readouterr().out

@@ -1,0 +1,139 @@
+"""The metrics registry, and the zero-simulated-overhead contract."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    DEFAULT_TIME_BUCKETS_S,
+    Histogram,
+    MetricsRegistry,
+    Observability,
+)
+from repro.runtime.activepy import ActivePy, RunOptions
+from repro.workloads import get_workload
+
+_SCALE = 2 ** -7
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ObservabilityError):
+            counter.inc(-1.0)
+
+    def test_non_finite_increment_rejected(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ObservabilityError):
+            counter.inc(math.nan)
+        with pytest.raises(ObservabilityError):
+            counter.inc(math.inf)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(1.0)
+        gauge.set(-2.0)
+        assert gauge.value == -2.0
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 0.7, 5.0, 100.0):
+            histogram.observe(value)
+        data = histogram.to_jsonable()
+        assert data["counts"] == [2, 1, 1]  # <=1, <=10, overflow
+        assert data["count"] == 4
+        assert data["sum"] == pytest.approx(106.2)
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("h", buckets=(1.0, 1.0))
+
+    def test_default_time_buckets_cover_sim_scales(self):
+        histogram = Histogram("h")
+        assert histogram.buckets == DEFAULT_TIME_BUCKETS_S
+        assert histogram.buckets[0] <= 1e-6 and histogram.buckets[-1] >= 100.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert len(registry) == 1
+
+    def test_name_cannot_change_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("x")
+        with pytest.raises(ObservabilityError):
+            registry.histogram("x")
+
+    def test_snapshot_is_sorted_and_json_ready(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc(2)
+        registry.gauge("g").set(0.5)
+        registry.histogram("h").observe(1e-3)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a", "b"]
+        assert snapshot["counters"]["a"] == 2
+        assert snapshot["gauges"]["g"] == 0.5
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+    def test_render_mentions_every_metric(self):
+        registry = MetricsRegistry()
+        assert "no metrics" in registry.render()
+        registry.counter("hits").inc(3)
+        assert "hits" in registry.render()
+
+
+@given(st.lists(
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    min_size=1, max_size=50,
+))
+@settings(max_examples=60, deadline=None)
+def test_counter_snapshots_are_monotone(amounts):
+    """Counter values never decrease across snapshots."""
+    registry = MetricsRegistry()
+    previous = 0.0
+    for amount in amounts:
+        registry.counter("events").inc(amount)
+        value = registry.snapshot()["counters"]["events"]
+        assert value >= previous
+        previous = value
+
+
+class TestZeroSimulatedOverhead:
+    """Enabling observability never changes simulated results."""
+
+    @pytest.mark.parametrize("name", ["tpch_q6", "kmeans"])
+    def test_total_seconds_bit_identical(self, name):
+        workload = get_workload(name, scale=_SCALE)
+        plain = ActivePy().run(workload.program, workload.dataset)
+        observed = ActivePy().run(
+            workload.program, workload.dataset,
+            options=RunOptions(obs=Observability.with_tracing()),
+        )
+        # Exactly equal, not approximately: no metric or span advances
+        # the simulated clock.
+        assert observed.total_seconds == plain.total_seconds
+        assert observed.result.total_seconds == plain.result.total_seconds
+
+    def test_disabled_machine_records_nothing(self):
+        workload = get_workload("tpch_q6", scale=_SCALE)
+        report = ActivePy().run(workload.program, workload.dataset)
+        assert report.obs is None

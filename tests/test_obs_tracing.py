@@ -1,0 +1,113 @@
+"""The span tracer, the Chrome exporter, and timeline back-compat."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    Observability,
+    Tracer,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.runtime.activepy import ActivePy, RunOptions
+from repro.workloads import get_workload
+
+_SCALE = 2 ** -7
+
+
+class TestTracer:
+    def test_record_and_read_back(self):
+        tracer = Tracer()
+        tracer.record("scan", "compute", "csd", 0.0, 1.5, {"chunk": 3})
+        assert tracer.count == 1
+        span = tracer.spans[0]
+        assert span.name == "scan"
+        assert span.duration == 1.5
+        assert dict(span.args) == {"chunk": 3}
+
+    def test_backwards_span_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Tracer().record("x", "compute", "host", 2.0, 1.0)
+
+    def test_spans_since_mark(self):
+        tracer = Tracer()
+        tracer.record("a", "compute", "host", 0.0, 1.0)
+        mark = tracer.count
+        tracer.record("b", "compute", "host", 1.0, 2.0)
+        assert [s.name for s in tracer.spans_since(mark)] == ["b"]
+
+    def test_trace_span_uses_bound_clock(self):
+        from repro.sim.clock import SimClock
+
+        clock = SimClock()
+        obs = Observability.with_tracing()
+        obs.bind_clock(clock)
+        with obs.trace_span("phase", "compute", "host"):
+            clock.advance(0.25)
+        span = obs.tracer.spans[0]
+        assert (span.start, span.end) == (0.0, 0.25)
+
+
+class TestTimelineBackCompat:
+    def test_traced_run_still_produces_timeline(self):
+        workload = get_workload("tpch_q6", scale=_SCALE)
+        report = ActivePy().run(
+            workload.program, workload.dataset,
+            options=RunOptions(trace=True),
+        )
+        assert report.timeline is not None
+        labels = [span.label for span in report.timeline.spans]
+        assert "sampling-phase" in labels
+        assert "codegen" in labels
+        # The timeline is materialised from the obs tracer.
+        assert report.obs is not None
+        assert report.obs.tracer is not None
+        assert len(report.timeline.spans) == report.obs.tracer.count
+
+    def test_untraced_run_has_no_timeline(self):
+        workload = get_workload("tpch_q6", scale=_SCALE)
+        report = ActivePy().run(workload.program, workload.dataset)
+        assert report.timeline is None
+
+
+class TestChromeExport:
+    def _traced_spans(self):
+        workload = get_workload("tpch_q6", scale=_SCALE)
+        obs = Observability.with_tracing()
+        ActivePy().run(
+            workload.program, workload.dataset, options=RunOptions(obs=obs),
+        )
+        return obs.tracer.spans
+
+    def test_tpch_q6_trace_is_schema_valid(self):
+        spans = self._traced_spans()
+        assert spans
+        trace = to_chrome_trace(spans)
+        assert validate_chrome_trace(trace) == []
+        events = trace["traceEvents"]
+        # One metadata event per resource, one "X" event per span.
+        assert sum(1 for e in events if e["ph"] == "X") == len(spans)
+        for event in events:
+            if event["ph"] != "X":
+                continue
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            # Microseconds: the first span starts at simulated t=0.
+            assert event["pid"] == 1
+
+    def test_write_round_trips_through_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        written = write_chrome_trace(self._traced_spans(), str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == written
+        assert validate_chrome_trace(loaded) == []
+
+    def test_validator_flags_malformed_traces(self):
+        assert validate_chrome_trace({}) != []
+        assert validate_chrome_trace({"traceEvents": [{"ph": "Q"}]}) != []
+        missing_dur = {"traceEvents": [
+            {"ph": "X", "name": "a", "pid": 1, "tid": 0, "ts": 0.0, "cat": "c"},
+        ]}
+        assert validate_chrome_trace(missing_dur) != []

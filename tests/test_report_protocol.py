@@ -1,0 +1,82 @@
+"""The common report protocol: summary()/to_jsonable() everywhere."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import ReportLike, dumps, to_jsonable
+from repro.analysis.timeline import ExecutionTimeline
+from repro.chaos import ChaosRunOutcome
+from repro.chaos.campaign import CampaignConfig, CampaignResult
+from repro.faults import FaultPlan
+from repro.runtime.activepy import ActivePy
+from repro.workloads import get_workload
+
+_SCALE = 2 ** -7
+
+
+def _report():
+    workload = get_workload("tpch_q6", scale=_SCALE)
+    return ActivePy().run(workload.program, workload.dataset)
+
+
+def _outcome(**overrides):
+    fields = dict(
+        workload="tpch_q6",
+        seed=7,
+        plan=FaultPlan(()),
+        violations=(),
+        degraded=False,
+        fault_event_count=3,
+    )
+    fields.update(overrides)
+    return ChaosRunOutcome(**fields)
+
+
+class TestProtocolSpeakers:
+    def test_report_types_satisfy_protocol(self):
+        report = _report()
+        assert isinstance(report, ReportLike)
+        assert isinstance(report.result, ReportLike)
+        assert isinstance(_outcome(), ReportLike)
+        assert isinstance(CampaignResult(config=CampaignConfig()), ReportLike)
+
+    def test_timeline_keeps_its_dedicated_branch(self):
+        # ExecutionTimeline has summary() but no to_jsonable(); it must
+        # keep hitting its own export branch, not the protocol.
+        assert not isinstance(ExecutionTimeline(), ReportLike)
+        timeline = ExecutionTimeline()
+        timeline.record(0.0, 1.0, "host", "compute", "scan")
+        assert to_jsonable(timeline)["experiment"] == "timeline"
+
+    def test_dispatch_uses_protocol_and_serialises(self):
+        report = _report()
+        data = to_jsonable(report)
+        assert data["experiment"] == "activepy-run"
+        assert data["result"]["experiment"] == "execution-result"
+        # summary() keys are a subset of the full view.
+        assert set(report.summary()) <= set(data)
+        json.loads(dumps(report))  # round-trips through real JSON
+
+    def test_outcome_and_campaign_serialise(self):
+        outcome = _outcome(metrics={"counters": {"x": 1.0}})
+        data = to_jsonable(outcome)
+        assert data["experiment"] == "chaos-run"
+        assert data["fault_event_count"] == 3
+        assert data["metrics"]["counters"]["x"] == 1.0
+        campaign = CampaignResult(config=CampaignConfig(), outcomes=[outcome])
+        payload = json.loads(dumps(campaign))
+        assert payload["experiment"] == "chaos-campaign"
+        assert payload["outcomes"][0]["seed"] == 7
+
+
+class TestRenamedAttributeShim:
+    def test_faults_injected_warns_and_aliases(self):
+        outcome = _outcome()
+        with pytest.warns(DeprecationWarning, match="fault_event_count"):
+            value = outcome.faults_injected
+        assert value == outcome.fault_event_count == 3
+
+    def test_new_name_does_not_warn(self, recwarn):
+        assert _outcome().fault_event_count == 3
+        assert not [w for w in recwarn if w.category is DeprecationWarning]

@@ -1,0 +1,72 @@
+"""RunOptions and the deprecated-keyword shims on ActivePy.run."""
+
+import dataclasses
+
+import pytest
+
+from repro.runtime.activepy import ActivePy, RunOptions
+from repro.workloads import get_workload
+
+_SCALE = 2 ** -7
+
+
+def _workload():
+    return get_workload("tpch_q6", scale=_SCALE)
+
+
+class TestRunOptions:
+    def test_frozen_and_keyword_friendly(self):
+        options = RunOptions(trace=True)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            options.trace = False
+
+    def test_options_path_emits_no_warning(self, recwarn):
+        workload = _workload()
+        report = ActivePy().run(
+            workload.program, workload.dataset,
+            options=RunOptions(trace=True),
+        )
+        assert report.timeline is not None
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+
+class TestDeprecatedKeywords:
+    def test_trace_kwarg_warns_but_works(self):
+        workload = _workload()
+        with pytest.warns(DeprecationWarning, match="RunOptions"):
+            report = ActivePy().run(
+                workload.program, workload.dataset, trace=True,
+            )
+        assert report.timeline is not None
+
+    def test_progress_triggers_kwarg_warns_but_works(self):
+        workload = _workload()
+        with pytest.warns(DeprecationWarning, match="RunOptions"):
+            ActivePy().run(
+                workload.program, workload.dataset,
+                progress_triggers=[(0.5, 0.5)],
+            )
+
+    def test_deprecated_form_is_equivalent(self):
+        workload = _workload()
+        modern = ActivePy().run(
+            workload.program, workload.dataset,
+            options=RunOptions(trace=True,
+                               progress_triggers=((0.5, 0.25),)),
+        )
+        with pytest.warns(DeprecationWarning):
+            legacy = ActivePy().run(
+                workload.program, workload.dataset,
+                trace=True, progress_triggers=[(0.5, 0.25)],
+            )
+        assert legacy.total_seconds == modern.total_seconds
+        assert len(legacy.timeline.spans) == len(modern.timeline.spans)
+
+    def test_deprecated_kwargs_override_options(self):
+        workload = _workload()
+        with pytest.warns(DeprecationWarning):
+            report = ActivePy().run(
+                workload.program, workload.dataset,
+                options=RunOptions(trace=False), trace=True,
+            )
+        assert report.timeline is not None
