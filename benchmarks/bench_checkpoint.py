@@ -50,7 +50,7 @@ def test_checkpoint_overhead_disabled_vs_enabled(benchmark):
             "saves": saves,
             "overhead_seconds": enabled.total_seconds - disabled.total_seconds,
         },
-    })
+    }, meta={"workload": "tpch_q6", "scale": _SCALE})
 
     # The record rides the existing status-update page: the default
     # write cost is zero and the simulator is deterministic, so the
@@ -84,7 +84,7 @@ def test_checkpoint_write_cost_sweep(benchmark):
     write_bench_json("checkpoint", {
         "write_cost_sweep": {"free_seconds": free.total_seconds,
                              "free_saves": saves, "rows": rows},
-    })
+    }, meta={"workload": "tpch_q6", "scale": _SCALE})
 
 
 def test_torn_write_recovery_cost(benchmark):
@@ -114,7 +114,7 @@ def test_torn_write_recovery_cost(benchmark):
             "crash_torn_records_seconds": torn.total_seconds,
             "checkpoint_stats": torn.result.checkpoint_stats,
         },
-    })
+    }, meta={"workload": "tpch_q6", "scale": _SCALE})
 
     assert torn.result.degraded
     assert torn.result.checkpoint_stats["torn_writes"] > 0

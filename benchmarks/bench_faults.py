@@ -50,7 +50,7 @@ def test_no_fault_overhead(benchmark):
             "armed_seconds": armed.total_seconds,
             "overhead_fraction": overhead,
         },
-    })
+    }, meta={"workload": "tpch_q6", "scale": _SCALE})
 
     # The simulator is deterministic: armed-but-idle must be exact.
     assert armed.total_seconds == plain.total_seconds
@@ -82,7 +82,7 @@ def test_crash_recovery_cost(benchmark):
             "degraded": crashed.result.degraded,
             "actions": [event.action for event in crashed.result.fault_events],
         },
-    })
+    }, meta={"workload": "tpch_q6", "scale": _SCALE})
 
     assert crashed.result.degraded
     assert crashed.total_seconds > plain.total_seconds

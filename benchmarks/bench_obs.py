@@ -1,6 +1,6 @@
 """Observability: free when disabled, cheap when enabled.
 
-Two claims:
+Three claims:
 
 * **Disabled overhead is exactly zero.**  No metric or span ever
   advances the simulated clock, so a run on a default (obs-disabled)
@@ -9,11 +9,16 @@ Two claims:
 * **Enabled overhead is small wall-clock.**  With counters, gauges,
   histograms and the span tracer all live, the wall-clock cost across
   the workload rotation stays under 5%.
+* **Attribution is exact and free.**  With per-component time
+  attribution live, simulated time stays bit-identical, and the
+  attributed seconds sum to the run's total *exactly* (residual 0.0)
+  on every workload in the rotation.
 """
 
+import math
 import time
 
-from repro.obs import Observability
+from repro.obs import Observability, build_critical_path
 from repro.runtime.activepy import ActivePy, RunOptions
 from repro.workloads import get_workload
 
@@ -79,9 +84,61 @@ def test_obs_overhead(benchmark):
             row["sim_overhead_seconds"] for row in per_workload.values()
         ),
         "enabled_wall_overhead_fraction": wall_overhead,
-    })
+    }, meta={"workloads": list(_ROTATION), "reps": _REPS})
 
     assert all(
         row["sim_overhead_seconds"] == 0.0 for row in per_workload.values()
     )
     assert wall_overhead < 0.05
+
+
+def test_attribution_identity(benchmark):
+    """Attribution: bit-identical sim time, exact sum identity."""
+    per_workload = {}
+    residuals = []
+    overheads = []
+    for name in _ROTATION:
+        plain = _run(name)
+        obs = Observability.with_attribution()
+        attributed = _run(name, obs=obs)
+        # Attribution must never perturb simulated time.
+        assert attributed.total_seconds == plain.total_seconds
+        overheads.append(attributed.total_seconds - plain.total_seconds)
+        path = build_critical_path(obs)
+        report = path.attribution
+        # The identity: every attributed nanosecond, once, exactly.
+        assert report.residual == 0.0
+        assert path.total_seconds == report.end - report.start
+        residuals.append(report.residual)
+        per_workload[name] = {
+            "sim_seconds": attributed.total_seconds,
+            "residual": report.residual,
+            "seconds_by_component": report.seconds_by_component,
+            "critical_path_steps": len(path.steps),
+            "top_bottleneck": (
+                report.rank_bottlenecks()[0][0]
+                if report.rank_bottlenecks() else None
+            ),
+        }
+
+    run_once(benchmark, lambda: _run(
+        _ROTATION[0], obs=Observability.with_attribution()
+    ))
+
+    print("\n\nattribution identity across the rotation")
+    for name, row in per_workload.items():
+        shares = ", ".join(
+            f"{component}={seconds:.6f}s"
+            for component, seconds in row["seconds_by_component"].items()
+        )
+        print(f"{name:<13} residual {row['residual']:.1e}  {shares}")
+
+    write_bench_json("obs", {
+        "attribution": {
+            "per_workload": per_workload,
+            "identity_residual": math.fsum(residuals),
+            "sim_overhead_seconds": math.fsum(overheads),
+        },
+    }, meta={"workloads": list(_ROTATION), "reps": _REPS})
+
+    assert all(row["residual"] == 0.0 for row in per_workload.values())

@@ -1,0 +1,45 @@
+"""Warn-exactly-once plumbing for deprecation shims.
+
+A deprecated keyword touched in a tight loop (every chaos-campaign run,
+say) must not spam hundreds of identical warnings — the first one is
+the signal, the rest are noise that buries real warnings.  Shims call
+:func:`warn_once` with a stable key; the first call per process warns,
+later calls are free.
+
+Tests that assert on the warnings reset the registry between cases via
+the autouse fixture in ``tests/conftest.py``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+__all__ = ["reset_deprecation_registry", "seen_deprecations", "warn_once"]
+
+_SEEN: Set[str] = set()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 2) -> bool:
+    """Emit ``message`` as a DeprecationWarning the first time ``key`` is seen.
+
+    ``stacklevel`` counts from the *caller* of ``warn_once`` (2 points
+    the warning at that caller's caller — usually the user code that
+    touched the deprecated surface).  Returns True when a warning was
+    actually emitted.
+    """
+    if key in _SEEN:
+        return False
+    _SEEN.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel + 1)
+    return True
+
+
+def seen_deprecations() -> Set[str]:
+    """The keys warned about so far (a copy; mutation-safe)."""
+    return set(_SEEN)
+
+
+def reset_deprecation_registry() -> None:
+    """Forget all emitted warnings (test isolation)."""
+    _SEEN.clear()

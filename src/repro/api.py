@@ -53,33 +53,44 @@ from .lang import ProgramBuilder, array_dataset, dataset_of
 from .lang.dataset import Dataset
 from .lang.program import Program, Statement
 from .obs import (
+    AttributionReport,
     Counter,
+    CriticalPathReport,
     Gauge,
     Histogram,
     MetricsRegistry,
     Observability,
     Span,
+    TimeAttributor,
     Tracer,
+    build_attribution_report,
+    build_critical_path,
     to_chrome_trace,
     trace_span,
     validate_chrome_trace,
     write_chrome_trace,
 )
+from .perfgate import GatedMetric, GateReport, PerfGateError
+from .perfgate import check as perf_check
+from .perfgate import snapshot as perf_snapshot
 from .runtime.activepy import ActivePy, ActivePyReport, RunOptions, run_plan
 from .runtime.codegen import ExecutionMode
 from .runtime.executor import ExecutionResult
+from .runtime.explain import LineExplanation, PlanExplanation, explain_plan
 from .runtime.planner import Plan, assign_csd_code
 from .workloads import Workload, all_workloads, get_workload, workload_names
 
 __all__ = [
     "ActivePy",
     "ActivePyReport",
+    "AttributionReport",
     "CampaignConfig",
     "CampaignResult",
     "ChaosError",
     "ChaosHarness",
     "ChaosRunOutcome",
     "Counter",
+    "CriticalPathReport",
     "DEFAULT_CONFIG",
     "Dataset",
     "DeadlineError",
@@ -94,13 +105,18 @@ __all__ = [
     "FaultLog",
     "FaultPlan",
     "FaultSpec",
+    "GateReport",
+    "GatedMetric",
     "Gauge",
     "Histogram",
+    "LineExplanation",
     "Machine",
     "MetricsRegistry",
     "Observability",
     "ObservabilityError",
+    "PerfGateError",
     "Plan",
+    "PlanExplanation",
     "Program",
     "ProgramBuilder",
     "ReportLike",
@@ -110,6 +126,7 @@ __all__ = [
     "Statement",
     "StaticIspBaseline",
     "SystemConfig",
+    "TimeAttributor",
     "TimelineSpan",
     "Tracer",
     "UncorrectableMediaError",
@@ -118,11 +135,16 @@ __all__ = [
     "all_workloads",
     "array_dataset",
     "assign_csd_code",
+    "build_attribution_report",
+    "build_critical_path",
     "build_machine",
     "dataset_of",
     "dump",
     "dumps",
+    "explain_plan",
     "get_workload",
+    "perf_check",
+    "perf_snapshot",
     "program_from_function",
     "run_c_baseline",
     "run_campaign",

@@ -14,10 +14,10 @@ config)``, so a reported failure replays bit-for-bit on any machine.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from .._deprecations import warn_once
 from ..config import DEFAULT_CONFIG, SystemConfig
 from ..errors import ChaosError
 from ..faults.spec import FaultPlan
@@ -63,10 +63,12 @@ class ChaosRunOutcome:
     @property
     def faults_injected(self) -> int:
         """Deprecated alias for :attr:`fault_event_count`."""
-        warnings.warn(
-            "ChaosRunOutcome.faults_injected is deprecated; "
-            "use fault_event_count",
-            DeprecationWarning, stacklevel=2,
+        warn_once(
+            "ChaosRunOutcome.faults_injected",
+            "ChaosRunOutcome.faults_injected is deprecated and will be "
+            "removed; read fault_event_count (same value, honest name: it "
+            "counts recovery actions too, not just injected faults)",
+            stacklevel=2,
         )
         return self.fault_event_count
 

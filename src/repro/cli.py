@@ -11,6 +11,9 @@
     python -m repro ladder | prediction        # the §V results
     python -m repro chaos [--runs N]           # randomized fault campaign
     python -m repro chaos --workload W --seed S  # replay one seeded run
+    python -m repro explain run tpch_q6        # plan vs. reality + critical path
+    python -m repro perf check                 # gate BENCH_*.json vs baselines
+    python -m repro perf snapshot              # refresh committed perf baselines
     python -m repro ... --json out.json        # archive the raw result
 
 Every command runs on the simulated platform; ``--scale`` shrinks the
@@ -299,6 +302,68 @@ def _cmd_chaos(args) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_explain(args) -> int:
+    from .obs import build_critical_path
+
+    obs = Observability.with_attribution()
+    report = _run_observed(args.workload, args.scale, obs)
+    path = build_critical_path(obs)
+    attribution = path.attribution
+    print()
+    if report.explanation is not None:
+        print(report.explanation.render())
+        print()
+    print(path.render(max_steps=args.max_steps))
+    print()
+    print(attribution.render())
+    if args.json:
+        payload = {
+            "workload": args.workload,
+            "scale": args.scale,
+            "total_seconds": report.total_seconds,
+            "explanation": (
+                report.explanation.to_jsonable()
+                if report.explanation is not None else None
+            ),
+            "critical_path": path.to_jsonable(),
+            "attribution": attribution.to_jsonable(),
+        }
+        export.dump(payload, args.json)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def _cmd_perf_check(args) -> int:
+    from pathlib import Path
+
+    from .perfgate import check
+
+    report = check(
+        Path(args.root),
+        baselines_dir=Path(args.baselines) if args.baselines else None,
+        planted_regression=args.planted_regression,
+    )
+    print(report.render())
+    if args.json:
+        export.dump(report.to_jsonable(), args.json)
+        print(f"wrote {args.json}")
+    return 0 if report.ok else 1
+
+
+def _cmd_perf_snapshot(args) -> int:
+    from pathlib import Path
+
+    from .perfgate import snapshot
+
+    written = snapshot(
+        Path(args.root),
+        baselines_dir=Path(args.baselines) if args.baselines else None,
+    )
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
 def _cmd_validate(args) -> int:
     from .lang.checks import validate_program
 
@@ -455,6 +520,61 @@ def build_parser() -> argparse.ArgumentParser:
                               help="print a line per campaign run")
     chaos_parser.add_argument("--json", metavar="PATH", default=None)
     chaos_parser.set_defaults(fn=_cmd_chaos)
+
+    explain_parser = sub.add_parser(
+        "explain",
+        help="observability: attribute a run's time and audit the plan",
+    )
+    explain_sub = explain_parser.add_subparsers(dest="explain_command",
+                                                required=True)
+    explain_run = explain_sub.add_parser(
+        "run",
+        help="run one workload with attribution and explain where the "
+             "time went (plan vs. reality, critical path, bottlenecks)",
+    )
+    explain_run.add_argument("workload", choices=workload_choices)
+    explain_run.add_argument("--scale", type=float, default=1.0,
+                             help="input scale in (0, 1]")
+    explain_run.add_argument(
+        "--max-steps", type=int, default=40,
+        help="critical-path steps to print (default: 40)",
+    )
+    explain_run.add_argument("--json", metavar="PATH", default=None,
+                             help="also write the full explanation as JSON")
+    explain_run.set_defaults(fn=_cmd_explain)
+
+    perf_parser = sub.add_parser(
+        "perf", help="the automated perf-regression gate over BENCH_*.json"
+    )
+    perf_sub = perf_parser.add_subparsers(dest="perf_command", required=True)
+    perf_check = perf_sub.add_parser(
+        "check",
+        help="diff fresh benchmark results against committed baselines "
+             "(exit 1 on regression)",
+    )
+    perf_check.add_argument(
+        "--root", default=".",
+        help="repo root holding BENCH_*.json / bench_results/ (default: .)",
+    )
+    perf_check.add_argument(
+        "--baselines", default=None, metavar="DIR",
+        help="baseline directory (default: <root>/perf_baselines)",
+    )
+    perf_check.add_argument(
+        "--planted-regression", action="store_true",
+        help="perturb every fresh value in memory before comparing — the "
+             "smoke test proving the gate can fail",
+    )
+    perf_check.add_argument("--json", metavar="PATH", default=None)
+    perf_check.set_defaults(fn=_cmd_perf_check)
+    perf_snapshot = perf_sub.add_parser(
+        "snapshot",
+        help="capture current results as the committed baselines (the "
+             "paved road for landing an intentional model change)",
+    )
+    perf_snapshot.add_argument("--root", default=".")
+    perf_snapshot.add_argument("--baselines", default=None, metavar="DIR")
+    perf_snapshot.set_defaults(fn=_cmd_perf_snapshot)
 
     validate_parser = sub.add_parser(
         "validate", help="pre-flight check a workload's program definition"

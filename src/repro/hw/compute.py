@@ -90,6 +90,9 @@ class ComputeUnit:
         self.counters = PerfCounters(_ipc_nominal=ips / clock_hz)
         self._availability = 1.0
         self.obs = obs if obs is not None else Observability.disabled()
+        # Which attribution bucket this unit's execution time lands in:
+        # the host CPU is "host", every in-device engine is "cse".
+        self.component = "host" if name == "host" else "cse"
         # Metric names precomputed so the hot path never formats strings.
         self._m_busy = f"compute.{name}.busy_seconds"
         self._m_instr = f"compute.{name}.instructions"
@@ -140,7 +143,7 @@ class ComputeUnit:
         the ActivePy monitor keys on.
         """
         elapsed = self.execution_time(instructions)
-        self.clock.advance(elapsed)
+        self.clock.advance(elapsed, component=self.component)
         self.counters.retired_instructions += instructions
         self.counters.cycles += elapsed * self.clock_hz
         self.counters.busy_seconds += elapsed

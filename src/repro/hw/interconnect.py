@@ -31,6 +31,7 @@ class Link:
         clock: SimClock,
         latency_s: float = 0.0,
         obs: Optional[Observability] = None,
+        component: str = "pcie",
     ) -> None:
         if bandwidth <= 0:
             raise HardwareError(f"link {name!r} needs positive bandwidth, got {bandwidth}")
@@ -44,6 +45,9 @@ class Link:
         self.transfers = 0
         self._degradation = 1.0
         self.obs = obs if obs is not None else Observability.disabled()
+        # Attribution bucket for time spent on this link: host-visible
+        # links are "pcie"; the CSD-internal bus is built with "nand".
+        self.component = component
         # Metric names precomputed so the hot path never formats strings.
         self._m_bytes = f"link.{name}.bytes"
         self._m_transfers = f"link.{name}.transfers"
@@ -93,7 +97,7 @@ class Link:
         """
         elapsed = self.transfer_time(nbytes)
         if elapsed > 0:
-            self.clock.advance(elapsed)
+            self.clock.advance(elapsed, component=self.component)
         self.bytes_transferred += nbytes
         if nbytes > 0:
             self.transfers += 1
@@ -123,7 +127,7 @@ class Link:
 
     def message(self) -> float:
         """Send a minimal control message (doorbell, status update)."""
-        self.clock.advance(self.latency_s)
+        self.clock.advance(self.latency_s, component=self.component)
         self.transfers += 1
         if self.obs.enabled:
             self.obs.metrics.counter(self._m_messages).inc()

@@ -32,9 +32,18 @@ start feeding the caller's registry without rebuilding the machine.
 
 from __future__ import annotations
 
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from typing import Dict, Iterator, Optional
 
+from ..errors import ObservabilityError
+from .attribution import (
+    AttributedSegment,
+    AttributionReport,
+    COMPONENTS,
+    TimeAttributor,
+    build_attribution_report,
+)
+from .critical_path import CriticalPathReport, CriticalPathStep, build_critical_path
 from .export import to_chrome_trace, validate_chrome_trace, write_chrome_trace
 from .metrics import (
     DEFAULT_TIME_BUCKETS_S,
@@ -46,14 +55,22 @@ from .metrics import (
 from .tracer import Span, Tracer
 
 __all__ = [
+    "AttributedSegment",
+    "AttributionReport",
+    "COMPONENTS",
     "Counter",
+    "CriticalPathReport",
+    "CriticalPathStep",
     "DEFAULT_TIME_BUCKETS_S",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Observability",
     "Span",
+    "TimeAttributor",
     "Tracer",
+    "build_attribution_report",
+    "build_critical_path",
     "to_chrome_trace",
     "trace_span",
     "validate_chrome_trace",
@@ -75,10 +92,12 @@ class Observability:
         enabled: bool = True,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        attribution: Optional[TimeAttributor] = None,
     ) -> None:
         self.enabled = enabled
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer
+        self.attribution = attribution
         self.clock = None  # bound by build_machine to the sim clock
 
     # --- constructors ------------------------------------------------------
@@ -93,6 +112,19 @@ class Observability:
         """An enabled handle that also collects spans."""
         return cls(enabled=True, tracer=Tracer())
 
+    @classmethod
+    def with_attribution(cls, tracing: bool = True) -> "Observability":
+        """An enabled handle that attributes every simulated second.
+
+        Tracing is on by default so the critical path can label its
+        steps with the enclosing runtime span.
+        """
+        return cls(
+            enabled=True,
+            tracer=Tracer() if tracing else None,
+            attribution=TimeAttributor(),
+        )
+
     # --- state -------------------------------------------------------------
 
     @property
@@ -100,9 +132,20 @@ class Observability:
         """True when spans should be recorded."""
         return self.enabled and self.tracer is not None
 
+    @property
+    def attributing(self) -> bool:
+        """True when clock movements are being attributed."""
+        return self.enabled and self.attribution is not None
+
     def bind_clock(self, clock) -> None:
-        """Attach the simulated clock used by :meth:`trace_span`."""
+        """Attach the simulated clock used by :meth:`trace_span`.
+
+        Installs the attributor (if any) on the clock so every movement
+        from here on is recorded.
+        """
         self.clock = clock
+        if clock is not None and self.attributing:
+            clock.set_attributor(self.attribution)
 
     def ensure_tracer(self) -> Tracer:
         """Attach (and return) a tracer if none is present."""
@@ -123,8 +166,13 @@ class Observability:
         self.enabled = other.enabled
         self.metrics = other.metrics
         self.tracer = other.tracer
+        self.attribution = other.attribution
         if other.clock is None:
             other.clock = self.clock
+        if self.clock is not None:
+            self.clock.set_attributor(
+                self.attribution if self.attributing else None
+            )
 
     # --- no-op-when-disabled recording helpers -----------------------------
 
@@ -174,9 +222,39 @@ class Observability:
         finally:
             self.tracer.record(name, cat, resource, start, self.clock.now, args)
 
+    def attr_scope(self, component: str):
+        """Context manager labelling clock movement inside the body.
+
+        A no-op (``nullcontext``) when attribution is off, so call sites
+        cost one attribute check — never simulated time — either way.
+        Explicit ``component=`` labels at leaf sites still win over the
+        scope.
+        """
+        if not self.attributing:
+            return nullcontext()
+        return _attributor_scope(self.attribution, component)
+
+    def attribution_report(self, since: int = 0) -> AttributionReport:
+        """Build an :class:`AttributionReport` from the attached attributor."""
+        if self.attribution is None:
+            raise ObservabilityError(
+                "this Observability handle has no attributor; "
+                "construct it with Observability.with_attribution()"
+            )
+        return build_attribution_report(self.attribution, since=since)
+
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """Deterministic JSON-ready view of all metrics."""
         return self.metrics.snapshot()
+
+
+@contextmanager
+def _attributor_scope(attributor: TimeAttributor, component: str) -> Iterator[None]:
+    attributor.push_scope(component)
+    try:
+        yield
+    finally:
+        attributor.pop_scope()
 
 
 @contextmanager

@@ -1,0 +1,261 @@
+"""Critical-path reconstruction over the attributed event DAG.
+
+The simulator serialises all activity onto one clock, so a run is a
+chain of :class:`~repro.obs.attribution.AttributedSegment`\\ s — but the
+chain is built as a genuine DAG walk anyway: nodes are segments, an
+edge joins segments that abut in time, and the critical path is the
+longest (time-weighted) path through that graph.  This keeps the
+algorithm correct if the engine ever grows truly parallel tracks (the
+longest chain is then the binding one), and it already handles windows
+with gaps (e.g. a report window clipped mid-run): each maximal chain
+competes and the longest wins.
+
+Overlap semantics matter here: when the executor overlaps a chunk's IO
+with its compute it advances the clock once by ``max(io, compute)``
+and labels the movement with the *binding* resource.  That is exactly
+critical-path accounting — the hidden, shorter side contributes zero
+path time — so attribution and critical path agree by construction and
+both satisfy the sum identity.
+
+Steps are labelled with the innermost tracer span covering them (line,
+chunk, migration, checkpoint...), so the rendered path reads as "which
+program line held which component for how long".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import ObservabilityError
+from .attribution import (
+    AttributedSegment,
+    AttributionReport,
+    _two_diff,
+    build_attribution_report,
+)
+
+__all__ = [
+    "CriticalPathReport",
+    "CriticalPathStep",
+    "build_critical_path",
+]
+
+
+@dataclass(frozen=True)
+class CriticalPathStep:
+    """One hop on the critical path: a component holding the clock."""
+
+    start: float
+    end: float
+    component: str
+    label: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def _longest_path(segments: List[AttributedSegment]) -> List[AttributedSegment]:
+    """Longest time-weighted path in the abutment DAG of ``segments``.
+
+    Segments arrive time-sorted (the attributor appends in clock
+    order).  DP over that topological order: ``best[i]`` is the longest
+    path ending at segment ``i``, extended from any predecessor whose
+    ``end`` equals ``segments[i].start``.
+    """
+    if not segments:
+        return []
+    n = len(segments)
+    best = [segments[i].duration for i in range(n)]
+    prev = [-1] * n
+    # All segments ending at time t, for O(1) predecessor lookup.
+    by_end: Dict[float, List[int]] = {}
+    for i, segment in enumerate(segments):
+        for j in by_end.get(segment.start, ()):
+            candidate = best[j] + segment.duration
+            if candidate > best[i]:
+                best[i] = candidate
+                prev[i] = j
+        by_end.setdefault(segment.end, []).append(i)
+    tail = max(range(n), key=lambda i: best[i])
+    path: List[AttributedSegment] = []
+    while tail != -1:
+        path.append(segments[tail])
+        tail = prev[tail]
+    path.reverse()
+    return path
+
+
+def _split_at_span_boundaries(
+    path: List[AttributedSegment], spans
+) -> List[AttributedSegment]:
+    """Cut path segments wherever a tracer span starts or ends.
+
+    A coalesced segment can straddle phases (sampling → codegen is one
+    unbroken run of host time); splitting at span edges lets each piece
+    pick up the right label.
+    """
+    if not spans:
+        return path
+    cuts = sorted({t for span in spans for t in (span.start, span.end)})
+    out: List[AttributedSegment] = []
+    for segment in path:
+        lo = segment.start
+        for cut in cuts:
+            if lo < cut < segment.end:
+                out.append(AttributedSegment(lo, cut, segment.component))
+                lo = cut
+        out.append(AttributedSegment(lo, segment.end, segment.component))
+    return out
+
+
+def _innermost_labels(
+    path: List[AttributedSegment], spans
+) -> List[str]:
+    """Label each path segment with its innermost enclosing span name."""
+    labels: List[str] = []
+    for segment in path:
+        mid = 0.5 * (segment.start + segment.end)
+        label = segment.component
+        tightest = float("inf")
+        for span in spans:
+            if span.start <= mid <= span.end:
+                width = span.end - span.start
+                if width < tightest:
+                    tightest = width
+                    label = span.name
+        labels.append(label)
+    return labels
+
+
+def _merge_steps(
+    path: List[AttributedSegment], labels: List[str]
+) -> List[CriticalPathStep]:
+    """Coalesce consecutive path hops sharing component and label."""
+    steps: List[CriticalPathStep] = []
+    for segment, label in zip(path, labels):
+        if (
+            steps
+            and steps[-1].component == segment.component
+            and steps[-1].label == label
+            and steps[-1].end == segment.start
+        ):
+            last = steps[-1]
+            steps[-1] = CriticalPathStep(last.start, segment.end, last.component, label)
+        else:
+            steps.append(
+                CriticalPathStep(segment.start, segment.end, segment.component, label)
+            )
+    return steps
+
+
+@dataclass
+class CriticalPathReport:
+    """The critical path plus the exact attribution behind it."""
+
+    steps: List[CriticalPathStep]
+    attribution: AttributionReport
+
+    @property
+    def start(self) -> float:
+        return self.attribution.start
+
+    @property
+    def end(self) -> float:
+        return self.attribution.end
+
+    @property
+    def total_seconds(self) -> float:
+        """Length of the critical path (== window when one chain spans it).
+
+        Computed with compensated summation over the steps' endpoint
+        pairs, so a contiguous chain telescopes *exactly* to
+        ``end - start`` — the same identity the attribution satisfies.
+        """
+        parts: List[float] = []
+        for step in self.steps:
+            hi, err = _two_diff(step.end, step.start)
+            parts.append(hi)
+            parts.append(err)
+        return math.fsum(parts)
+
+    def seconds_by_component(self) -> Dict[str, float]:
+        """Path time per component (path-only, unlike the attribution)."""
+        out: Dict[str, float] = {}
+        for step in self.steps:
+            out[step.component] = out.get(step.component, 0.0) + step.duration
+        return dict(sorted(out.items()))
+
+    def what_if(self, component: str) -> float:
+        """Projected total if ``component`` were free (zero-time)."""
+        return self.attribution.what_if(component)
+
+    def rank_bottlenecks(self) -> List[Tuple[str, float]]:
+        """Components ranked by what removing them would save."""
+        return self.attribution.rank_bottlenecks()
+
+    def render(self, max_steps: int = 40) -> str:
+        lines = [
+            f"critical path: {len(self.steps)} steps, "
+            f"{self.total_seconds:.6f} s over "
+            f"[{self.start:.6f}, {self.end:.6f}]"
+        ]
+        shown = self.steps[:max_steps]
+        for step in shown:
+            lines.append(
+                f"  {step.start:>10.6f} -> {step.end:>10.6f}  "
+                f"{step.component:<11} {step.duration:>12.6f} s  {step.label}"
+            )
+        if len(self.steps) > len(shown):
+            lines.append(f"  ... {len(self.steps) - len(shown)} more steps")
+        lines.append("bottleneck ranking (time saved if component were free):")
+        for name, seconds in self.rank_bottlenecks():
+            lines.append(
+                f"  {name:<11} -{seconds:.6f} s "
+                f"-> {self.what_if(name):.6f} s total"
+            )
+        return "\n".join(lines)
+
+    def to_jsonable(self) -> Dict[str, object]:
+        return {
+            "start": self.start,
+            "end": self.end,
+            "total_seconds": self.total_seconds,
+            "steps": [
+                {
+                    "start": step.start,
+                    "end": step.end,
+                    "component": step.component,
+                    "label": step.label,
+                    "seconds": step.duration,
+                }
+                for step in self.steps
+            ],
+            "seconds_by_component": self.seconds_by_component(),
+            "attribution": self.attribution.to_jsonable(),
+        }
+
+
+def build_critical_path(obs, since: int = 0) -> CriticalPathReport:
+    """Reconstruct the critical path of a run from an obs handle.
+
+    ``obs`` must carry a :class:`TimeAttributor` (use
+    ``Observability.with_attribution()``); a tracer is optional but
+    gives the steps their line/chunk labels.  ``since`` is a record
+    mark (``obs.attribution.mark()``) restricting the report window.
+    """
+    if obs.attribution is None:
+        raise ObservabilityError(
+            "critical path needs attribution; "
+            "construct the handle with Observability.with_attribution()"
+        )
+    attribution = build_attribution_report(obs.attribution, since=since)
+    segments = [s for s in attribution.segments]
+    path = _longest_path(segments)
+    spans = tuple(obs.tracer.spans) if obs.tracer is not None else ()
+    path = _split_at_span_boundaries(path, spans)
+    labels = _innermost_labels(path, spans)
+    steps = _merge_steps(path, labels)
+    return CriticalPathReport(steps=steps, attribution=attribution)

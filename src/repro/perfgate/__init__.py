@@ -1,0 +1,33 @@
+"""Automated perf-regression gate over the benchmark suite's results.
+
+See :mod:`repro.perfgate.gate` for the model.  CLI surface::
+
+    python -m repro perf check      # diff fresh BENCH_*.json vs baselines
+    python -m repro perf snapshot   # refresh committed baselines
+"""
+
+from .gate import (
+    BASELINE_DIR_NAME,
+    Deviation,
+    GATED_METRICS,
+    GateReport,
+    GatedMetric,
+    PerfGateError,
+    check,
+    load_results,
+    lookup,
+    snapshot,
+)
+
+__all__ = [
+    "BASELINE_DIR_NAME",
+    "Deviation",
+    "GATED_METRICS",
+    "GateReport",
+    "GatedMetric",
+    "PerfGateError",
+    "check",
+    "load_results",
+    "lookup",
+    "snapshot",
+]

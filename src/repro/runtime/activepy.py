@@ -14,10 +14,10 @@ still work for one release behind a :class:`DeprecationWarning`.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from .._deprecations import warn_once
 from ..analysis.timeline import ExecutionTimeline
 from ..config import DEFAULT_CONFIG, SystemConfig
 from ..faults import FaultInjector, FaultPlan
@@ -28,6 +28,7 @@ from ..obs import Observability
 from .codegen import CodeGenerator, CompiledProgram, ExecutionMode
 from .estimator import LineEstimate, build_estimates
 from .executor import ExecutionResult, PlanExecutor, ProgressTrigger
+from .explain import PREDICTION_ERROR_BUCKETS, PlanExplanation, explain_plan
 from .planner import Plan, assign_csd_code
 from .sampling import SamplingPhase, SamplingReport
 
@@ -83,6 +84,9 @@ class ActivePyReport:
     #: The observability handle the run recorded into (None when
     #: observability was disabled for the run).
     obs: Optional[Observability] = None
+    #: Predicted vs measured per-line times and the migration audit
+    #: trail (always attached; costs no simulated time).
+    explanation: Optional[PlanExplanation] = None
 
     @property
     def execution_seconds(self) -> float:
@@ -112,6 +116,8 @@ class ActivePyReport:
         payload: Dict[str, Any] = {"experiment": "activepy-run"}
         payload.update(self.summary())
         payload["result"] = self.result.to_jsonable()
+        if self.explanation is not None:
+            payload["explanation"] = self.explanation.to_jsonable()
         if self.obs is not None:
             payload["metrics"] = self.obs.snapshot()
         return payload
@@ -193,7 +199,7 @@ class ActivePy:
 
         # 1. Sampling phase: run the program on scaled sample inputs.
         sampling = self._sampling_phase.run(program, dataset)
-        machine.simulator.clock.advance(sampling.sampling_seconds)
+        machine.simulator.clock.advance(sampling.sampling_seconds, component="host")
         handle.record_span("sampling-phase", "sampling", "host", start, machine.now)
 
         # 2. Extrapolate to the raw input; calibrate C from the device's
@@ -226,6 +232,12 @@ class ActivePy:
             progress_triggers=opts.progress_triggers,
         )
 
+        # 6. Explain: the planner's per-line predictions next to what
+        #    the executor measured, so the plan is auditable.
+        explanation = explain_plan(plan, result, self.config)
+        if handle.enabled:
+            self._record_explanation(handle, explanation)
+
         timeline = (
             handle.tracer.to_timeline(since=trace_mark)
             if opts.trace and handle.tracer is not None else None
@@ -240,6 +252,30 @@ class ActivePy:
             total_seconds=machine.now - start,
             timeline=timeline,
             obs=handle if handle.enabled else None,
+            explanation=explanation,
+        )
+
+    @staticmethod
+    def _record_explanation(
+        handle: Observability, explanation: PlanExplanation
+    ) -> None:
+        """Expose per-line prediction error through the metrics registry."""
+        metrics = handle.metrics
+        for line in explanation.lines:
+            prefix = f"plan.line.{line.name}"
+            metrics.gauge(f"{prefix}.predicted_seconds").set(
+                line.predicted_seconds
+            )
+            metrics.gauge(f"{prefix}.measured_seconds").set(line.measured_seconds)
+            metrics.gauge(f"{prefix}.error_seconds").set(line.error_seconds)
+            metrics.histogram(
+                "plan.prediction.relative_error", buckets=PREDICTION_ERROR_BUCKETS
+            ).observe(line.relative_error)
+        metrics.gauge("plan.prediction.max_relative_error").set(
+            explanation.max_relative_error
+        )
+        metrics.gauge("plan.prediction.total_error_seconds").set(
+            explanation.total_error_seconds
         )
 
     @staticmethod
@@ -253,17 +289,20 @@ class ActivePy:
         """Fold direct and deprecated keywords into one RunOptions."""
         opts = options if options is not None else RunOptions()
         if trace is not _UNSET:
-            warnings.warn(
-                "ActivePy.run(trace=...) is deprecated; "
-                "use options=RunOptions(trace=...)",
-                DeprecationWarning, stacklevel=3,
+            warn_once(
+                "ActivePy.run:trace",
+                "ActivePy.run(trace=...) is deprecated and will be removed; "
+                "pass options=RunOptions(trace=...) instead",
+                stacklevel=3,
             )
             opts = replace(opts, trace=bool(trace))
         if progress_triggers is not _UNSET:
-            warnings.warn(
-                "ActivePy.run(progress_triggers=...) is deprecated; "
-                "use options=RunOptions(progress_triggers=...)",
-                DeprecationWarning, stacklevel=3,
+            warn_once(
+                "ActivePy.run:progress_triggers",
+                "ActivePy.run(progress_triggers=...) is deprecated and will "
+                "be removed; pass options=RunOptions(progress_triggers=...) "
+                "instead",
+                stacklevel=3,
             )
             opts = replace(opts, progress_triggers=tuple(progress_triggers))
         if fault_plan is not None:

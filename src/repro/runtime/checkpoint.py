@@ -189,7 +189,9 @@ class CheckpointManager:
                 self.config.checkpoint_write_cost_s
             )
         if self.config.checkpoint_write_cost_s > 0:
-            self.device.simulator.clock.advance(self.config.checkpoint_write_cost_s)
+            self.device.simulator.clock.advance(
+                self.config.checkpoint_write_cost_s, component="checkpoint"
+            )
         if not clean:
             self.obs.count("checkpoint.torn_writes")
             # Accounting only: the host has no idea yet — it will find

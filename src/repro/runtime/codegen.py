@@ -123,7 +123,7 @@ class CodeGenerator:
         )
         compile_cost = mode.compile_seconds(self.config)
         if compile_cost > 0:
-            machine.simulator.clock.advance(compile_cost)
+            machine.simulator.clock.advance(compile_cost, component="host")
         compiled.compile_seconds = compile_cost
 
         if mode is ExecutionMode.ACTIVEPY:
@@ -152,7 +152,7 @@ class CodeGenerator:
         """
         cost = compiled.mode.compile_seconds(self.config)
         if cost > 0:
-            machine.simulator.clock.advance(cost)
+            machine.simulator.clock.advance(cost, component="host")
         return cost
 
 

@@ -77,10 +77,12 @@ class CallQueueDispatcher:
 
         Waiting through the simulator (rather than a bare clock advance)
         lets background events — a scheduled CSE reset, a stall window
-        expiring — take effect while the host is parked.
+        expiring — take effect while the host is parked.  The parked
+        time is queueing delay, attributed to the NVMe queues.
         """
         simulator = self.machine.simulator
-        simulator.run_until(simulator.now + seconds)
+        with self.obs.attr_scope("nvme"):
+            simulator.run_until(simulator.now + seconds)
 
     # --- invocation ---------------------------------------------------------
 

@@ -36,6 +36,10 @@ from .migration import MigrationEvent, migration_cost_estimate, perform_migratio
 from .monitor import RuntimeMonitor
 from .planner import CSD, HOST
 
+#: IPC drift lives in [0, 1]; the time-decade default buckets would
+#: collapse it into two bins.
+_DRIFT_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+
 
 @dataclass
 class LineTiming:
@@ -342,6 +346,13 @@ class PlanExecutor:
                     )
                     update = self._post_status(statement, chunk, chunks)
                     decision = monitor.observe(update)
+                    if self.obs.enabled:
+                        # Drift of observed vs planner-predicted IPC per
+                        # status update, so migration triggers can be
+                        # audited against the estimate after the fact.
+                        self.obs.metrics.histogram(
+                            "monitor.ipc_drift", buckets=_DRIFT_BUCKETS
+                        ).observe(decision.ipc_drift)
                     if not (self.migration_enabled and decision.reestimate):
                         continue
                     event = self._consider_migration(
@@ -359,6 +370,9 @@ class PlanExecutor:
                         continue
                     migrations.append(event)
                     self.obs.count("executor.migrations")
+                    # The drift that tipped this migration, for audits.
+                    self.obs.gauge("monitor.migration_trigger_drift",
+                                   decision.ipc_drift)
                     last_migration_at = machine.now
                     if update.high_priority_pending:
                         self.device.cse.acknowledge_high_priority()
@@ -487,7 +501,10 @@ class PlanExecutor:
         """
         elapsed = link.transfer(nbytes)
         if multiplier > 1.0 and elapsed > 0:
-            self.machine.simulator.clock.advance(elapsed * (multiplier - 1.0))
+            # The boxed-buffer stretch is still time on the same wire.
+            self.machine.simulator.clock.advance(
+                elapsed * (multiplier - 1.0), component=link.component
+            )
 
     def _chunk(self, unit, moves, instructions: float, multiplier: float) -> None:
         """One chunk of data movement + compute on ``unit``.
@@ -511,7 +528,14 @@ class PlanExecutor:
         )
         compute_seconds = unit.execution_time(instructions)
         elapsed = max(io_seconds, compute_seconds)
-        machine.simulator.clock.advance(elapsed)
+        # Overlapped chunks advance once by the binding side; attributing
+        # the whole advance to that side is critical-path accounting —
+        # the hidden, shorter resource contributes zero path time.
+        if io_seconds >= compute_seconds and moves:
+            binding = moves[0][0].component
+        else:
+            binding = unit.component
+        machine.simulator.clock.advance(elapsed, component=binding)
         for link, nbytes in moves:
             if nbytes > 0:
                 link.account(nbytes)
@@ -627,7 +651,10 @@ class PlanExecutor:
             delay = config.retry_backoff_base_s
             while waited < config.command_deadline_s and self.device.cse.crashed:
                 step = min(delay, config.command_deadline_s - waited)
-                machine.simulator.run_until(machine.now + step)
+                # Backoff time is spent waiting on the engine's firmware
+                # reset, so it belongs to the CSE, not the host.
+                with self.obs.attr_scope("cse"):
+                    machine.simulator.run_until(machine.now + step)
                 waited += step
                 delay *= config.retry_backoff_factor
             if self.device.cse.crashed:

@@ -92,8 +92,10 @@ def perform_migration(
     """
     start = machine.simulator.now
     config = machine.config
-    machine.simulator.clock.advance(config.compile_overhead_s)
-    machine.simulator.clock.advance(config.migration_state_cost_s)
+    machine.simulator.clock.advance(config.compile_overhead_s, component="migration")
+    machine.simulator.clock.advance(
+        config.migration_state_cost_s, component="migration"
+    )
     machine.d2h_link.transfer(_LOCALS_BYTES)
     cost = machine.simulator.now - start
     if machine.obs.enabled:

@@ -30,6 +30,11 @@ class MonitorDecision:
     reason: str = ""
     #: Device availability inferred from IPC (observed / expected).
     inferred_availability: float = 1.0
+    #: How far observed IPC has drifted below expectation, in [0, 1]:
+    #: 0.0 = on prediction, 0.9 = running at a tenth of the predicted
+    #: rate.  Surfaced so migration decisions are auditable against the
+    #: planner's assumptions, not just a boolean trigger.
+    ipc_drift: float = 0.0
 
 
 @dataclass
@@ -57,12 +62,14 @@ class RuntimeMonitor:
         ipc = max(0.0, update.ipc)
         self._history.append(ipc)
         inferred = min(1.0, ipc / self.expected_ipc) if self.expected_ipc else 1.0
+        drift = max(0.0, 1.0 - inferred)
 
         if update.high_priority_pending:
             return MonitorDecision(
                 reestimate=True,
                 reason="device raised a high-priority request",
                 inferred_availability=inferred,
+                ipc_drift=drift,
             )
         if ipc < self.config.ipc_degradation_threshold * self.expected_ipc:
             return MonitorDecision(
@@ -73,14 +80,18 @@ class RuntimeMonitor:
                     f"{self.expected_ipc:.3f}"
                 ),
                 inferred_availability=inferred,
+                ipc_drift=drift,
             )
         if self._is_decreasing():
             return MonitorDecision(
                 reestimate=True,
                 reason=f"IPC decreasing over the last {self.trend_window} updates",
                 inferred_availability=inferred,
+                ipc_drift=drift,
             )
-        return MonitorDecision(reestimate=False, inferred_availability=inferred)
+        return MonitorDecision(
+            reestimate=False, inferred_availability=inferred, ipc_drift=drift
+        )
 
     def _is_decreasing(self) -> bool:
         if len(self._history) < self.trend_window:
@@ -120,3 +131,14 @@ class RuntimeMonitor:
     @property
     def last_ipc(self) -> Optional[float]:
         return self._history[-1] if self._history else None
+
+    @property
+    def mean_drift(self) -> float:
+        """Mean IPC drift over the observations since the last reset."""
+        if not self._history or self.expected_ipc <= 0:
+            return 0.0
+        drifts = [
+            max(0.0, 1.0 - min(1.0, ipc / self.expected_ipc))
+            for ipc in self._history
+        ]
+        return sum(drifts) / len(drifts)

@@ -72,6 +72,7 @@ class ComputationalStorageDevice:
             bandwidth=config.bw_internal,
             clock=simulator.clock,
             obs=self.obs,
+            component="nand",
         )
         self.bar = BarWindow(
             device_name=name,
@@ -132,7 +133,7 @@ class ComputationalStorageDevice:
         """
         extra = self.flash.consume_read_fault()
         if extra > 0:
-            self.simulator.clock.advance(extra)
+            self.simulator.clock.advance(extra, component="nand")
         return extra
 
     def internal_read_time(self, nbytes: float) -> float:

@@ -11,10 +11,19 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro._deprecations import reset_deprecation_registry
 from repro.config import SystemConfig
 from repro.hw.topology import Machine, build_machine
 from repro.lang.dataset import Dataset
 from repro.lang.program import Program, Statement, constant, per_record
+
+
+@pytest.fixture(autouse=True)
+def _fresh_deprecation_registry():
+    """Deprecation shims warn once per process; tests need once per test."""
+    reset_deprecation_registry()
+    yield
+    reset_deprecation_registry()
 
 
 @pytest.fixture

@@ -26,6 +26,7 @@ PUBLIC_PACKAGES = [
     "repro.memory",
     "repro.ml",
     "repro.obs",
+    "repro.perfgate",
     "repro.runtime",
     "repro.sim",
     "repro.storage",

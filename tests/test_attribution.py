@@ -1,0 +1,238 @@
+"""TimeAttributor mechanics and the exact attribution report."""
+
+import math
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import Observability
+from repro.obs.attribution import (
+    COMPONENTS,
+    DEFAULT_COMPONENT,
+    TimeAttributor,
+    build_attribution_report,
+)
+from repro.sim.clock import SimClock
+
+
+class TestRecording:
+    def test_unlabelled_movement_is_host_time(self):
+        attributor = TimeAttributor()
+        attributor.record(0.0, 1.0, None)
+        assert attributor.records() == (("host", 0.0, 1.0),)
+        assert DEFAULT_COMPONENT == "host"
+
+    def test_unknown_component_rejected_at_record(self):
+        with pytest.raises(ObservabilityError, match="unknown attribution"):
+            TimeAttributor().record(0.0, 1.0, "gpu")
+
+    def test_scope_labels_inner_movement(self):
+        attributor = TimeAttributor()
+        attributor.push_scope("nvme")
+        attributor.record(0.0, 1.0, None)
+        attributor.pop_scope()
+        attributor.record(1.0, 2.0, None)
+        assert [r[0] for r in attributor.records()] == ["nvme", "host"]
+
+    def test_explicit_label_beats_scope(self):
+        attributor = TimeAttributor()
+        attributor.push_scope("nvme")
+        attributor.record(0.0, 1.0, "pcie")
+        attributor.pop_scope()
+        assert attributor.records()[0][0] == "pcie"
+
+    def test_scopes_nest(self):
+        attributor = TimeAttributor()
+        attributor.push_scope("nvme")
+        attributor.push_scope("cse")
+        assert attributor.current_component == "cse"
+        attributor.pop_scope()
+        assert attributor.current_component == "nvme"
+
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(ObservabilityError):
+            TimeAttributor().push_scope("gpu")
+
+    def test_pop_of_empty_stack_rejected(self):
+        with pytest.raises(ObservabilityError):
+            TimeAttributor().pop_scope()
+
+    def test_consecutive_same_component_movements_coalesce(self):
+        attributor = TimeAttributor()
+        attributor.record(0.0, 1.0, "cse")
+        attributor.record(1.0, 2.0, "cse")
+        attributor.record(2.0, 3.0, "pcie")
+        segments = attributor.segments()
+        assert [(s.start, s.end, s.component) for s in segments] == [
+            (0.0, 2.0, "cse"),
+            (2.0, 3.0, "pcie"),
+        ]
+
+    def test_zero_duration_movement_keeps_record_skips_segment(self):
+        attributor = TimeAttributor()
+        attributor.record(1.0, 1.0, "cse")
+        assert attributor.record_count == 1
+        assert attributor.segments() == []
+
+    def test_reset_clears_everything(self):
+        attributor = TimeAttributor()
+        attributor.push_scope("cse")
+        attributor.record(0.0, 1.0, None)
+        attributor.reset()
+        assert attributor.record_count == 0
+        assert attributor.segments() == []
+        assert attributor.current_component == DEFAULT_COMPONENT
+
+
+class TestClockIntegration:
+    def test_clock_records_after_moving(self):
+        clock = SimClock()
+        attributor = TimeAttributor()
+        clock.set_attributor(attributor)
+        clock.advance(0.5, component="cse")
+        clock.advance_to(2.0)
+        assert attributor.records() == (("cse", 0.0, 0.5), ("host", 0.5, 2.0))
+
+    def test_clock_reset_resets_attributor(self):
+        # The identity needs contiguous records; a rewound clock with
+        # stale records would make the telescoping sum lie.
+        clock = SimClock()
+        attributor = TimeAttributor()
+        clock.set_attributor(attributor)
+        clock.advance(1.0)
+        clock.reset()
+        assert attributor.record_count == 0
+
+    def test_attribution_never_perturbs_the_clock(self):
+        plain, attributed = SimClock(), SimClock()
+        attributed.set_attributor(TimeAttributor())
+        for c in (plain, attributed):
+            c.advance(0.1, component="cse")
+            c.advance(0.2, component="pcie")
+        assert attributed.now == plain.now
+
+
+class TestReport:
+    def _noisy_attributor(self):
+        # Awkward increments whose naive float sum would drift.
+        attributor = TimeAttributor()
+        now = 0.25
+        for i in range(2000):
+            component = COMPONENTS[i % len(COMPONENTS)]
+            new = now + (0.1 if i % 2 else 1e-9)
+            attributor.record(now, new, component)
+            now = new
+        return attributor, now
+
+    def test_sum_identity_is_exact_on_noisy_increments(self):
+        attributor, end = self._noisy_attributor()
+        report = build_attribution_report(attributor)
+        assert report.start == 0.25
+        assert report.end == end
+        assert report.residual == 0.0
+        assert report.total_attributed == report.end - report.start
+
+    def test_component_parts_fsum_to_the_total(self):
+        attributor, _ = self._noisy_attributor()
+        report = build_attribution_report(attributor)
+        total = math.fsum(report.seconds_by_component.values())
+        assert total == pytest.approx(report.total_attributed, abs=1e-12)
+
+    def test_empty_report_is_all_zero(self):
+        report = build_attribution_report(TimeAttributor())
+        assert report.total_attributed == 0.0
+        assert report.residual == 0.0
+        assert report.seconds_by_component == {}
+
+    def test_windowed_report_since_mark(self):
+        attributor = TimeAttributor()
+        attributor.record(0.0, 1.0, "host")
+        mark = attributor.mark()
+        attributor.record(1.0, 3.0, "cse")
+        report = build_attribution_report(attributor, since=mark)
+        assert report.start == 1.0
+        assert report.seconds_by_component == {"cse": 2.0}
+        assert report.residual == 0.0
+
+    def test_utilization_fractions(self):
+        attributor = TimeAttributor()
+        attributor.record(0.0, 1.0, "cse")
+        attributor.record(1.0, 4.0, "host")
+        util = build_attribution_report(attributor).utilization()
+        assert util == {"cse": 0.25, "host": 0.75}
+
+    def test_what_if_removes_exactly_that_component(self):
+        attributor = TimeAttributor()
+        attributor.record(0.0, 1.0, "cse")
+        attributor.record(1.0, 4.0, "host")
+        report = build_attribution_report(attributor)
+        assert report.what_if("host") == pytest.approx(1.0)
+        assert report.what_if("nand") == pytest.approx(4.0)  # absent = free
+        with pytest.raises(ObservabilityError):
+            report.what_if("gpu")
+
+    def test_bottleneck_ranking_descending_and_positive_only(self):
+        attributor = TimeAttributor()
+        attributor.record(0.0, 3.0, "host")
+        attributor.record(3.0, 4.0, "cse")
+        ranked = build_attribution_report(attributor).rank_bottlenecks()
+        assert ranked == [("host", 3.0), ("cse", 1.0)]
+
+    def test_queueing_delay_histograms_per_component(self):
+        attributor = TimeAttributor()
+        attributor.record(0.0, 0.001, "nvme")
+        attributor.record(0.001, 0.002, "cse")
+        attributor.record(0.002, 0.004, "nvme")
+        hists = build_attribution_report(attributor).queueing_delay_histograms()
+        assert hists["nvme"].count == 2
+        assert hists["cse"].count == 1
+
+    def test_render_and_jsonable(self):
+        attributor = TimeAttributor()
+        attributor.record(0.0, 2.0, "cse")
+        report = build_attribution_report(attributor)
+        assert "residual" in report.render()
+        payload = report.to_jsonable()
+        assert payload["residual"] == 0.0
+        assert payload["bottlenecks"][0]["component"] == "cse"
+
+
+class TestObservabilityHandle:
+    def test_with_attribution_constructor(self):
+        obs = Observability.with_attribution()
+        assert obs.attributing
+        assert obs.tracer is not None
+        assert not Observability.with_tracing().attributing
+
+    def test_bind_clock_installs_attributor(self):
+        obs = Observability.with_attribution()
+        clock = SimClock()
+        obs.bind_clock(clock)
+        clock.advance(0.5)
+        assert obs.attribution.record_count == 1
+
+    def test_attr_scope_noop_without_attribution(self):
+        obs = Observability.with_tracing()
+        with obs.attr_scope("nvme"):
+            pass  # must not raise, must not record anything
+
+    def test_attr_scope_labels_when_attributing(self):
+        obs = Observability.with_attribution()
+        clock = SimClock()
+        obs.bind_clock(clock)
+        with obs.attr_scope("nvme"):
+            clock.advance(0.5)
+        assert obs.attribution.records()[0][0] == "nvme"
+
+    def test_attribution_report_requires_attributor(self):
+        with pytest.raises(ObservabilityError):
+            Observability.with_tracing().attribution_report()
+
+    def test_adopt_moves_the_attributor_onto_the_machine_clock(self):
+        machine_obs = Observability.disabled()
+        clock = SimClock()
+        machine_obs.bind_clock(clock)
+        caller = Observability.with_attribution()
+        machine_obs.adopt(caller)
+        clock.advance(0.25, component="cse")
+        assert caller.attribution.records() == (("cse", 0.0, 0.25),)

@@ -1,0 +1,143 @@
+"""Critical-path reconstruction and the whole-run sum identity.
+
+The acceptance bar for the attribution layer: on every workload in the
+benchmark rotation, every simulated nanosecond lands in exactly one
+component bucket and the buckets sum back to the run's total *exactly*
+(residual ``0.0``, not approximately), while the run itself stays
+bit-identical to an unobserved one.
+"""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import Observability, build_critical_path
+from repro.obs.attribution import AttributedSegment, TimeAttributor
+from repro.obs.critical_path import _longest_path
+from repro.runtime.activepy import ActivePy, RunOptions
+from repro.workloads import get_workload
+
+_SCALE = 2 ** -6
+_ROTATION = ("tpch_q6", "kmeans", "blackscholes", "pagerank")
+
+
+def _run(name, obs=None):
+    workload = get_workload(name, scale=_SCALE)
+    return ActivePy().run(
+        workload.program, workload.dataset, options=RunOptions(obs=obs),
+    )
+
+
+class TestSumIdentityOnRealRuns:
+    @pytest.mark.parametrize("name", _ROTATION)
+    def test_every_nanosecond_attributed_exactly_once(self, name):
+        plain = _run(name)
+        obs = Observability.with_attribution()
+        attributed = _run(name, obs=obs)
+        # Observability must never perturb simulated time.
+        assert attributed.total_seconds == plain.total_seconds
+        report = obs.attribution_report()
+        # The identity is exact, not a tolerance check.
+        assert report.residual == 0.0
+        assert report.total_attributed == report.end - report.start
+
+    @pytest.mark.parametrize("name", _ROTATION)
+    def test_critical_path_spans_the_whole_window(self, name):
+        obs = Observability.with_attribution()
+        _run(name, obs=obs)
+        path = build_critical_path(obs)
+        # One serialised clock => one chain covering the full window,
+        # and the compensated step sum telescopes exactly.
+        assert path.total_seconds == path.end - path.start
+        assert path.steps[0].start == path.start
+        assert path.steps[-1].end == path.end
+        for a, b in zip(path.steps, path.steps[1:]):
+            assert a.end == b.start
+
+    def test_steps_are_labelled_with_runtime_spans(self):
+        obs = Observability.with_attribution()
+        _run("tpch_q6", obs=obs)
+        labels = {step.label for step in build_critical_path(obs).steps}
+        assert "sampling-phase" in labels
+        assert "codegen" in labels
+        # Per-line labels from the executor's spans.
+        assert any("scan_filter_q6" in label for label in labels)
+
+    def test_path_components_agree_with_attribution(self):
+        obs = Observability.with_attribution()
+        _run("tpch_q6", obs=obs)
+        path = build_critical_path(obs)
+        # Single serialised chain: path time per component equals the
+        # attributed time per component (within fp association noise).
+        by_path = path.seconds_by_component()
+        for name, seconds in path.attribution.seconds_by_component.items():
+            assert by_path.get(name, 0.0) == pytest.approx(seconds, abs=1e-9)
+
+    def test_bottleneck_ranking_is_descending(self):
+        obs = Observability.with_attribution()
+        _run("kmeans", obs=obs)
+        ranked = build_critical_path(obs).rank_bottlenecks()
+        assert ranked
+        assert all(a[1] >= b[1] for a, b in zip(ranked, ranked[1:]))
+
+    def test_windowed_path_since_mark(self):
+        obs = Observability.with_attribution()
+        _run("tpch_q6", obs=obs)
+        mark = obs.attribution.mark()
+        _run("tpch_q6", obs=obs)
+        path = build_critical_path(obs, since=mark)
+        assert path.total_seconds == path.end - path.start
+        assert path.attribution.residual == 0.0
+
+
+class TestDagWalk:
+    def test_longest_path_prefers_the_heavier_chain(self):
+        # Two parallel chains over [0, 3]; the cse chain is longer in
+        # covered time and must win.
+        segments = [
+            AttributedSegment(0.0, 1.0, "host"),
+            AttributedSegment(0.0, 2.0, "cse"),
+            AttributedSegment(2.0, 3.0, "cse"),
+            AttributedSegment(1.0, 1.5, "host"),
+        ]
+        path = _longest_path(segments)
+        assert [s.component for s in path] == ["cse", "cse"]
+
+    def test_longest_path_handles_gaps(self):
+        # A window clipped mid-run: two disjoint chains compete.
+        segments = [
+            AttributedSegment(0.0, 1.0, "host"),
+            AttributedSegment(5.0, 9.0, "cse"),
+        ]
+        path = _longest_path(segments)
+        assert [s.component for s in path] == ["cse"]
+
+    def test_empty_input(self):
+        assert _longest_path([]) == []
+
+
+class TestErrors:
+    def test_requires_an_attributor(self):
+        with pytest.raises(ObservabilityError, match="with_attribution"):
+            build_critical_path(Observability.with_tracing())
+
+    def test_render_truncates(self):
+        obs = Observability.with_attribution()
+        _run("tpch_q6", obs=obs)
+        text = build_critical_path(obs).render(max_steps=3)
+        assert "more steps" in text
+        assert "bottleneck ranking" in text
+
+    def test_works_without_a_tracer(self):
+        obs = Observability.with_attribution(tracing=False)
+        _run("tpch_q6", obs=obs)
+        path = build_critical_path(obs)
+        # No spans: labels fall back to the component names.
+        assert path.total_seconds == path.end - path.start
+        assert all(step.label == step.component for step in path.steps)
+
+    def test_attributor_alone_report_on_handle(self):
+        attributor = TimeAttributor()
+        attributor.record(0.0, 1.0, "cse")
+        obs = Observability(attribution=attributor)
+        path = build_critical_path(obs)
+        assert path.total_seconds == 1.0

@@ -1,0 +1,78 @@
+"""Deprecation shims warn exactly once, with actionable messages."""
+
+import warnings
+
+import pytest
+
+from repro._deprecations import (
+    reset_deprecation_registry,
+    seen_deprecations,
+    warn_once,
+)
+from repro.runtime.activepy import ActivePy, RunOptions
+from repro.workloads import get_workload
+
+_SCALE = 2 ** -7
+
+
+class TestWarnOnce:
+    def test_first_call_warns_later_calls_do_not(self):
+        with pytest.warns(DeprecationWarning, match="old thing"):
+            assert warn_once("test:key", "old thing is deprecated")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert not warn_once("test:key", "old thing is deprecated")
+
+    def test_distinct_keys_warn_independently(self):
+        with pytest.warns(DeprecationWarning):
+            warn_once("test:a", "a is deprecated")
+        with pytest.warns(DeprecationWarning):
+            warn_once("test:b", "b is deprecated")
+        assert {"test:a", "test:b"} <= set(seen_deprecations())
+
+    def test_reset_rearms_the_shim(self):
+        warn_once("test:key", "old thing is deprecated")
+        reset_deprecation_registry()
+        with pytest.warns(DeprecationWarning):
+            assert warn_once("test:key", "old thing is deprecated")
+
+
+class TestActivePyRunShims:
+    def _run(self, **kwargs):
+        workload = get_workload("tpch_q6", scale=_SCALE)
+        return ActivePy().run(workload.program, workload.dataset, **kwargs)
+
+    def test_trace_kwarg_warns_once_and_still_works(self):
+        with pytest.warns(DeprecationWarning, match="RunOptions"):
+            report = self._run(trace=True)
+        assert report.timeline is not None
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            self._run(trace=True)  # second use: silent
+
+    def test_progress_triggers_kwarg_warns_and_still_works(self):
+        with pytest.warns(DeprecationWarning, match="RunOptions"):
+            self._run(progress_triggers=((0.5, 0.9),))
+
+    def test_options_path_is_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            report = self._run(options=RunOptions(trace=True))
+        assert report.timeline is not None
+
+
+class TestChaosOutcomeShim:
+    def _outcome(self):
+        from repro.chaos import ChaosHarness
+
+        harness = ChaosHarness(scale=2 ** -7, fault_count=1)
+        return harness.run_seed("tpch_q6", 7)
+
+    def test_faults_injected_warns_once_and_aliases(self):
+        outcome = self._outcome()
+        with pytest.warns(DeprecationWarning, match="fault_event_count"):
+            legacy = outcome.faults_injected
+        assert legacy == outcome.fault_event_count
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert outcome.faults_injected == outcome.fault_event_count

@@ -1,0 +1,121 @@
+"""Chrome-trace export stays valid when runs get ugly.
+
+The exporter is easiest to break exactly when traces are most needed:
+crash-recovery reissues, host fallback and mid-run migration all open
+spans on unusual paths.  Each scenario here must still produce a trace
+that ``validate_chrome_trace`` accepts, and the attribution identity
+must keep holding while the machine misbehaves.
+"""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+from repro.hw.topology import build_machine
+from repro.obs import (
+    Observability,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.runtime.activepy import ActivePy, RunOptions
+from repro.workloads import get_workload
+
+from .conftest import make_toy_dataset, make_toy_program
+
+_SCALE = 2 ** -6
+
+
+def _run(obs, fault_plan=None, machine=None, workload="tpch_q6"):
+    w = get_workload(workload, scale=_SCALE)
+    return ActivePy().run(
+        w.program, w.dataset, machine=machine,
+        options=RunOptions(obs=obs, fault_plan=fault_plan),
+    )
+
+
+def _crash_time():
+    plain = _run(Observability.disabled())
+    return plain.overhead_seconds + plain.execution_seconds * 0.5
+
+
+def _assert_valid_trace(obs):
+    assert obs.tracer is not None and obs.tracer.count > 0
+    trace = to_chrome_trace(obs.tracer.spans)
+    problems = validate_chrome_trace(trace)
+    assert problems == [], problems
+
+
+class TestTraceUnderFaults:
+    def test_transient_cse_crash(self):
+        obs = Observability.with_attribution()
+        plan = FaultPlan((
+            FaultSpec(kind=FaultKind.CSE_CRASH, at_time=_crash_time(),
+                      duration_s=0.02),
+        ))
+        report = _run(obs, fault_plan=plan)
+        assert report.result.fault_events
+        assert not report.result.degraded  # recovered, not fallen back
+        _assert_valid_trace(obs)
+        assert obs.attribution_report().residual == 0.0
+
+    def test_permanent_crash_forces_host_fallback(self):
+        obs = Observability.with_attribution()
+        plan = FaultPlan((
+            FaultSpec(kind=FaultKind.CSE_CRASH, at_time=_crash_time(),
+                      duration_s=0.0),
+        ))
+        report = _run(obs, fault_plan=plan)
+        assert report.result.degraded
+        _assert_valid_trace(obs)
+        assert obs.attribution_report().residual == 0.0
+
+    def test_mid_run_migration(self):
+        obs = Observability.with_attribution()
+        machine = build_machine(DEFAULT_CONFIG)
+        machine.csd.cse.schedule_availability(at_time=0.15, fraction=0.05)
+        report = ActivePy().run(
+            make_toy_program(), make_toy_dataset(), machine=machine,
+            options=RunOptions(obs=obs),
+        )
+        assert report.result.migrated
+        _assert_valid_trace(obs)
+        report_attr = obs.attribution_report()
+        assert report_attr.residual == 0.0
+        # Migration compile/transfer time landed in its own bucket.
+        assert report_attr.seconds_by_component.get("migration", 0.0) > 0.0
+
+    def test_lost_completion_and_media_retry(self):
+        obs = Observability.with_attribution()
+        at = _crash_time()
+        plan = FaultPlan((
+            FaultSpec(kind=FaultKind.NVME_COMPLETION_LOSS, at_time=at),
+            FaultSpec(kind=FaultKind.NAND_READ_CORRECTABLE,
+                      at_time=at * 1.05, count=3),
+        ))
+        report = _run(obs, fault_plan=plan)
+        assert report.result.fault_events
+        _assert_valid_trace(obs)
+        assert obs.attribution_report().residual == 0.0
+
+
+class TestFaultsDoNotPerturbIdentity:
+    @pytest.mark.parametrize("duration", (0.0, 0.02))
+    def test_sim_time_identical_with_and_without_obs(self, duration):
+        plan = FaultPlan((
+            FaultSpec(kind=FaultKind.CSE_CRASH, at_time=_crash_time(),
+                      duration_s=duration),
+        ))
+        plain = _run(Observability.disabled(), fault_plan=plan)
+        observed = _run(Observability.with_attribution(), fault_plan=plan)
+        assert observed.total_seconds == plain.total_seconds
+
+    def test_recovery_wait_attributed_to_the_device(self):
+        obs = Observability.with_attribution()
+        plan = FaultPlan((
+            FaultSpec(kind=FaultKind.CSE_CRASH, at_time=_crash_time(),
+                      duration_s=0.02),
+        ))
+        _run(obs, fault_plan=plan)
+        seconds = obs.attribution_report().seconds_by_component
+        # The backoff while the host waits for device reset is cse time.
+        assert seconds.get("cse", 0.0) > 0.0

@@ -1,0 +1,167 @@
+"""Plan explainability: predicted vs. measured, line by line."""
+
+import math
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.errors import ProgramError
+from repro.hw.topology import build_machine
+from repro.obs import Observability
+from repro.runtime.activepy import ActivePy, RunOptions
+from repro.runtime.executor import ExecutionResult
+from repro.runtime.explain import (
+    explain_plan,
+    predicted_line_seconds,
+)
+from repro.runtime.planner import CSD, Plan, projected_time
+from repro.workloads import get_workload
+
+from .conftest import make_toy_dataset, make_toy_program
+
+_SCALE = 2 ** -6
+
+
+def _report(name="tpch_q6", **kwargs):
+    workload = get_workload(name, scale=_SCALE)
+    return ActivePy().run(workload.program, workload.dataset, **kwargs)
+
+
+class TestPredictedLineSeconds:
+    @pytest.mark.parametrize("name", ("tpch_q6", "kmeans", "blackscholes"))
+    def test_lines_plus_final_transfer_equal_projected_time(self, name):
+        report = _report(name)
+        plan = report.plan
+        explanation = report.explanation
+        total = sum(predicted_line_seconds(plan, DEFAULT_CONFIG))
+        total += explanation.predicted_final_transfer_seconds
+        assert total == pytest.approx(
+            projected_time(plan.assignments, plan.estimates, DEFAULT_CONFIG),
+            rel=1e-12,
+        )
+
+    def test_boundary_crossing_charges_the_input_transfer(self):
+        report = _report()
+        plan = report.plan
+        predicted = predicted_line_seconds(plan, DEFAULT_CONFIG)
+        for i in range(1, len(predicted)):
+            crossing = plan.assignments[i - 1] != plan.assignments[i]
+            where = plan.assignments[i]
+            line = plan.estimates[i]
+            compute = line.ct_device if where == CSD else line.ct_host
+            expected = compute + (
+                line.d_in / DEFAULT_CONFIG.bw_d2h if crossing else 0.0
+            )
+            assert predicted[i] == pytest.approx(expected, rel=1e-12)
+
+
+class TestExplanationOnRealRuns:
+    def test_every_run_carries_an_explanation(self):
+        report = _report()
+        explanation = report.explanation
+        assert explanation is not None
+        assert explanation.program_name == "tpch_q6"
+        assert len(explanation.lines) == len(report.plan.assignments)
+        assert explanation.predicted_total_seconds == report.plan.t_csd
+        assert explanation.measured_total_seconds == report.result.total_seconds
+
+    def test_unmigrated_run_holds_the_plan(self):
+        explanation = _report().explanation
+        assert explanation.plan_held
+        assert explanation.migration_audit == []
+        for line in explanation.lines:
+            assert line.actual_location == line.planned_location
+
+    def test_errors_are_finite_and_bounded(self):
+        explanation = _report().explanation
+        for line in explanation.lines:
+            assert line.error_seconds == (
+                line.measured_seconds - line.predicted_seconds
+            )
+        # Tiny lines at test scale mispredict by a few x, never by
+        # orders of magnitude — and never divide by zero into inf.
+        assert math.isfinite(explanation.max_relative_error)
+        assert explanation.max_relative_error < 10.0
+
+    def test_worst_lines_ranked_by_relative_error(self):
+        explanation = _report().explanation
+        worst = explanation.worst_lines(2)
+        assert len(worst) <= 2
+        assert all(
+            a.relative_error >= b.relative_error for a, b in zip(worst, worst[1:])
+        )
+
+    def test_render_and_jsonable(self):
+        explanation = _report().explanation
+        text = explanation.render()
+        assert "predicted" in text and "measured" in text
+        payload = explanation.to_jsonable()
+        assert payload["plan_held"] is True
+        assert len(payload["lines"]) == len(explanation.lines)
+
+    def test_report_jsonable_embeds_the_explanation(self):
+        payload = _report().to_jsonable()
+        assert payload["explanation"]["program"] == "tpch_q6"
+
+
+class TestMigrationAudit:
+    def _migrated_report(self):
+        machine = build_machine(DEFAULT_CONFIG)
+        machine.csd.cse.schedule_availability(at_time=0.15, fraction=0.05)
+        return ActivePy().run(
+            make_toy_program(), make_toy_dataset(), machine=machine,
+        )
+
+    def test_migration_shows_up_in_the_audit_trail(self):
+        report = self._migrated_report()
+        assert report.result.migrated
+        explanation = report.explanation
+        assert not explanation.plan_held
+        assert len(explanation.migration_audit) == len(report.result.migrations)
+        audit = explanation.migration_audit[0]
+        event = report.result.migrations[0]
+        assert audit["line_name"] == event.line_name
+        assert audit["reason"] == event.reason
+        assert audit["projected_device_seconds"] == event.projected_device_seconds
+        assert audit["projected_host_seconds"] == event.projected_host_seconds
+        # The audit makes the decision checkable: the runtime must have
+        # picked the cheaper projection when it moved.
+        assert audit["projected_host_seconds"] < audit["projected_device_seconds"]
+
+    def test_migrated_line_is_marked(self):
+        explanation = self._migrated_report().explanation
+        migrated = [line for line in explanation.lines if line.migrated_mid_line]
+        assert migrated
+        assert all(not line.held for line in migrated)
+        assert "migration" in explanation.render()
+
+
+class TestExplanationMetrics:
+    def test_prediction_metrics_emitted_when_observed(self):
+        obs = Observability()
+        _report(options=RunOptions(obs=obs))
+        snapshot = obs.snapshot()
+        gauges = snapshot["gauges"]
+        assert "plan.prediction.max_relative_error" in gauges
+        assert "plan.prediction.total_error_seconds" in gauges
+        assert any(
+            name.startswith("plan.line.") and name.endswith(".error_seconds")
+            for name in gauges
+        )
+        histogram = snapshot["histograms"]["plan.prediction.relative_error"]
+        assert histogram["count"] > 0
+
+    def test_no_metrics_without_an_enabled_handle(self):
+        report = _report()
+        assert report.explanation is not None  # explanation is always built
+        assert report.obs is None
+
+
+class TestErrors:
+    def test_plan_without_estimates_rejected(self):
+        plan = Plan(assignments=["host"], t_host=1.0, t_csd=1.0, estimates=())
+        result = ExecutionResult(
+            program_name="x", total_seconds=1.0, line_timings=[],
+        )
+        with pytest.raises(ProgramError):
+            explain_plan(plan, result, DEFAULT_CONFIG)
