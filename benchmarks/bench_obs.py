@@ -31,7 +31,10 @@ _REPS = 3
 
 def _run(name, obs=None):
     workload = get_workload(name, scale=_SCALE)
-    return ActivePy().run(
+    # Cache off: the <5% overhead claim is about full (sampled) runs;
+    # a warm profile cache would shrink the denominator to almost
+    # nothing and turn this into a measurement of the tracer alone.
+    return ActivePy(profile_cache=False).run(
         workload.program, workload.dataset, options=RunOptions(obs=obs),
     )
 

@@ -70,6 +70,7 @@ from .obs import (
     validate_chrome_trace,
     write_chrome_trace,
 )
+from .parallel import merge_metric_snapshots, run_campaign_parallel
 from .perfgate import GatedMetric, GateReport, PerfGateError
 from .perfgate import check as perf_check
 from .perfgate import snapshot as perf_snapshot
@@ -78,6 +79,7 @@ from .runtime.codegen import ExecutionMode
 from .runtime.executor import ExecutionResult
 from .runtime.explain import LineExplanation, PlanExplanation, explain_plan
 from .runtime.planner import Plan, assign_csd_code
+from .runtime.profcache import ProfileCache, default_cache
 from .workloads import Workload, all_workloads, get_workload, workload_names
 
 __all__ = [
@@ -117,6 +119,7 @@ __all__ = [
     "PerfGateError",
     "Plan",
     "PlanExplanation",
+    "ProfileCache",
     "Program",
     "ProgramBuilder",
     "ReportLike",
@@ -139,15 +142,18 @@ __all__ = [
     "build_critical_path",
     "build_machine",
     "dataset_of",
+    "default_cache",
     "dump",
     "dumps",
     "explain_plan",
     "get_workload",
+    "merge_metric_snapshots",
     "perf_check",
     "perf_snapshot",
     "program_from_function",
     "run_c_baseline",
     "run_campaign",
+    "run_campaign_parallel",
     "run_cython_baseline",
     "run_plan",
     "run_python_baseline",

@@ -10,8 +10,10 @@
     python -m repro fig2 | fig4 | fig5         # regenerate a figure
     python -m repro ladder | prediction        # the §V results
     python -m repro chaos [--runs N]           # randomized fault campaign
+    python -m repro chaos --workers 4          # ... across worker processes
     python -m repro chaos --workload W --seed S  # replay one seeded run
     python -m repro explain run tpch_q6        # plan vs. reality + critical path
+    python -m repro bench                      # wall-clock perf-layer benchmark
     python -m repro perf check                 # gate BENCH_*.json vs baselines
     python -m repro perf snapshot              # refresh committed perf baselines
     python -m repro ... --json out.json        # archive the raw result
@@ -240,6 +242,10 @@ def _cmd_chaos(args) -> int:
         print(f"repro chaos: error: --runs must be at least 1, got {args.runs}",
               file=sys.stderr)
         return 2
+    if args.workers < 1:
+        print(f"repro chaos: error: --workers must be at least 1, "
+              f"got {args.workers}", file=sys.stderr)
+        return 2
     if args.fault_count < 1:
         print(f"repro chaos: error: --fault-count must be at least 1, "
               f"got {args.fault_count}", file=sys.stderr)
@@ -294,7 +300,14 @@ def _cmd_chaos(args) -> int:
               f"{outcome.workload:<14} seed={outcome.seed:<6} "
               f"degraded={str(outcome.degraded):<5} {mark}")
 
-    result = run_campaign(config, on_outcome=progress if args.verbose else None)
+    on_outcome = progress if args.verbose else None
+    if args.workers > 1:
+        from .parallel import run_campaign_parallel
+
+        result = run_campaign_parallel(config, workers=args.workers,
+                                       on_outcome=on_outcome)
+    else:
+        result = run_campaign(config, on_outcome=on_outcome)
     print(result.render())
     if args.json:
         export.dump(result, args.json)
@@ -307,6 +320,7 @@ def _cmd_explain(args) -> int:
 
     obs = Observability.with_attribution()
     report = _run_observed(args.workload, args.scale, obs)
+    print(f"prof cache : {report.sampling_cache_status}")
     path = build_critical_path(obs)
     attribution = path.attribution
     print()
@@ -330,6 +344,28 @@ def _cmd_explain(args) -> int:
         }
         export.dump(payload, args.json)
         print(f"\nwrote {args.json}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .wallbench import run_wall_bench, write_wall_bench
+
+    payload = run_wall_bench(workers=args.workers, repeats=args.repeats)
+    warm = payload["warm_run"]
+    campaign = payload["parallel_campaign"]
+    for name, row in warm["per_workload"].items():
+        print(f"warm run   : {name:<14} "
+              f"{row['cold_wall_seconds'] * 1e3:7.1f} ms cold -> "
+              f"{row['warm_wall_seconds'] * 1e3:7.1f} ms warm "
+              f"({row['speedup']:.2f}x)")
+    print(f"campaign   : {campaign['runs']} run(s), "
+          f"workers={campaign['workers']}  "
+          f"{campaign['serial_wall_seconds']:.2f} s serial baseline -> "
+          f"{campaign['parallel_wall_seconds']:.2f} s "
+          f"({campaign['speedup']:.2f}x)")
+    root_path, canonical = write_wall_bench(payload, workers=args.workers)
+    print(f"wrote {root_path}")
+    print(f"wrote {canonical}")
     return 0
 
 
@@ -516,6 +552,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable checkpoint CRC validation (the planted bug the "
              "campaign exists to catch)",
     )
+    chaos_parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="run the campaign across N worker processes (same outcomes "
+             "as serial, just faster; default: 1)",
+    )
     chaos_parser.add_argument("--verbose", action="store_true",
                               help="print a line per campaign run")
     chaos_parser.add_argument("--json", metavar="PATH", default=None)
@@ -542,6 +583,21 @@ def build_parser() -> argparse.ArgumentParser:
     explain_run.add_argument("--json", metavar="PATH", default=None,
                              help="also write the full explanation as JSON")
     explain_run.set_defaults(fn=_cmd_explain)
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help="benchmark the performance layer's wall-clock wins "
+             "(profile cache, parallel campaigns) into BENCH_wall.json",
+    )
+    bench_parser.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="worker processes for the campaign arm (default: 4)",
+    )
+    bench_parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="best-of repeats for the warm/cold run arm (default: 3)",
+    )
+    bench_parser.set_defaults(fn=_cmd_bench)
 
     perf_parser = sub.add_parser(
         "perf", help="the automated perf-regression gate over BENCH_*.json"

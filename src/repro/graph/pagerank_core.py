@@ -17,15 +17,15 @@ def spmv(matrix: CSRMatrix, x: np.ndarray) -> np.ndarray:
     if matrix.nnz == 0:
         return np.zeros(matrix.n_rows)
     products = matrix.values * x[matrix.indices]
-    # Scatter-add per stored element: immune to the empty-row pitfalls
-    # of segment reductions (np.add.reduceat mis-handles rows whose
-    # start index equals the array length or the next row's start).
+    # Weighted bincount is a scatter-add per stored element: immune to
+    # the empty-row pitfalls of segment reductions (np.add.reduceat
+    # mis-handles rows whose start index equals the array length or
+    # the next row's start), accumulates per row in element order like
+    # np.add.at (bit-identical), and runs as a single C loop.
     rows = np.repeat(
         np.arange(matrix.n_rows, dtype=np.int64), np.diff(matrix.indptr)
     )
-    y = np.zeros(matrix.n_rows)
-    np.add.at(y, rows, products)
-    return y
+    return np.bincount(rows, weights=products, minlength=matrix.n_rows)
 
 
 def pagerank(
@@ -48,11 +48,16 @@ def pagerank(
     out_degree = matrix.out_degree().astype(np.float64)
     safe_degree = np.maximum(out_degree, 1.0)
     ranks = np.full(n, 1.0 / n)
+    # The COO row vector is loop-invariant; expand it once, not per sweep.
+    rows = _expand_rows(matrix)
     for _ in range(iterations):
         contrib = ranks / safe_degree
         # Push each vertex's share along its out-edges: y[d] += c[s].
-        incoming = np.zeros(n)
-        np.add.at(incoming, matrix.indices, contrib[_expand_rows(matrix)])
+        # Weighted bincount accumulates per destination in element
+        # order, bit-identical to the former np.add.at scatter.
+        incoming = np.bincount(
+            matrix.indices, weights=contrib[rows], minlength=n
+        )
         new_ranks = (1.0 - damping) / n + damping * incoming
         # Redistribute dangling-node mass uniformly.
         dangling = ranks[out_degree == 0].sum()

@@ -91,8 +91,21 @@ def kmeans_update(
     decides whether to reseed.
     """
     d = points.shape[1]
-    sums = np.zeros((k, d), dtype=points.dtype)
-    np.add.at(sums, labels, points)
+    if points.dtype == np.float64:
+        # Weighted bincount accumulates per bin in element order —
+        # the same addition sequence as an unbuffered scatter-add, so
+        # results are bit-identical to np.add.at while running one
+        # C loop per dimension instead of one dispatch per element.
+        sums = np.empty((k, d), dtype=np.float64)
+        for dim in range(d):
+            sums[:, dim] = np.bincount(
+                labels, weights=points[:, dim], minlength=k
+            )
+    else:
+        # bincount always accumulates in float64; preserve the exact
+        # same-dtype accumulation for non-f64 inputs.
+        sums = np.zeros((k, d), dtype=points.dtype)
+        np.add.at(sums, labels, points)
     counts = np.bincount(labels, minlength=k).astype(np.int64)
     centroids = np.divide(
         sums,

@@ -25,7 +25,7 @@ if TYPE_CHECKING:  # pragma: no cover — avoid an import cycle at runtime
 __all__ = ["Span", "Tracer"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Span:
     """One named interval of simulated time on one resource.
 

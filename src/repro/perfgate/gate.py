@@ -14,8 +14,13 @@ with explicit per-metric tolerances:
   contracts).  Any deviation beyond the tolerance band fails, in either
   direction.
 
-Wall-clock numbers (``*_wall_seconds``) are never gated — they measure
-the host running the benchmarks, not the simulator.
+Raw wall-clock numbers (``*_wall_seconds``) are never gated — they
+measure the host running the benchmarks, not the simulator.  The
+``wall`` bench's *dimensionless ratios* (warm/cold, layer/baseline)
+are the exception: they capture how much wall work the performance
+layer removes, so they are gated with deliberately generous relative
+tolerances that absorb host-to-host variance while still catching a
+cache or parallel-runner regression that erases the win.
 
 ``python -m repro perf check`` runs the diff (exit 1 on regression);
 ``python -m repro perf snapshot`` refreshes the baselines after an
@@ -105,6 +110,14 @@ GATED_METRICS: Dict[str, Tuple[GatedMetric, ...]] = {
         GatedMetric(
             "torn_write_recovery.crash_torn_records_seconds", "max", rel_tol=0.02
         ),
+    ),
+    # Wall-clock ratios, not simulated seconds: noisy by nature, hence
+    # the wide bands.  A fraction that *grows* past the slack means the
+    # performance layer stopped removing wall work (e.g. the profile
+    # cache stopped hitting), which is exactly what to catch.
+    "wall": (
+        GatedMetric("warm_run.fraction_of_cold", "max", rel_tol=1.5),
+        GatedMetric("parallel_campaign.fraction_of_serial", "max", rel_tol=1.5),
     ),
 }
 
@@ -304,8 +317,11 @@ def check(
             if planted_regression:
                 # Worse in the gated direction: bigger for "max", and
                 # pushed off the pin (plus a floor for zero-pinned
-                # invariants) for "both".
-                actual = actual * 1.5 + 1e-6
+                # invariants) for "both".  Scale past the metric's own
+                # tolerance band so even generously-gated metrics (the
+                # wall fractions) are pushed out of bounds.
+                factor = 1.5 + metric.rel_tol
+                actual = actual * factor + metric.abs_tol + 1e-6
             lo, hi = metric.limits(value)
             report.checked += 1
             if not (lo <= actual <= hi):

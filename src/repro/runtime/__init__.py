@@ -15,6 +15,7 @@ from .fitting import ComplexityCurve, FittedCurve, fit_curve
 from .migration import MigrationEvent
 from .monitor import RuntimeMonitor
 from .planner import Plan, assign_csd_code
+from .profcache import ProfileCache, default_cache
 from .profiler import LineProfiler, LineRecord, payload_nbytes
 from .sampling import SampleSeries, SamplingPhase, SamplingReport
 
@@ -37,6 +38,8 @@ __all__ = [
     "RuntimeMonitor",
     "Plan",
     "assign_csd_code",
+    "ProfileCache",
+    "default_cache",
     "LineProfiler",
     "LineRecord",
     "payload_nbytes",

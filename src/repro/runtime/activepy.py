@@ -30,6 +30,7 @@ from .estimator import LineEstimate, build_estimates
 from .executor import ExecutionResult, PlanExecutor, ProgressTrigger
 from .explain import PREDICTION_ERROR_BUCKETS, PlanExplanation, explain_plan
 from .planner import Plan, assign_csd_code
+from .profcache import ProfileCache, default_cache
 from .sampling import SamplingPhase, SamplingReport
 
 __all__ = ["ActivePy", "ActivePyReport", "RunOptions", "run_plan"]
@@ -87,6 +88,13 @@ class ActivePyReport:
     #: Predicted vs measured per-line times and the migration audit
     #: trail (always attached; costs no simulated time).
     explanation: Optional[PlanExplanation] = None
+    #: True when the sampling phase was served from the profile cache
+    #: (wall-clock shortcut only; simulated results are bit-identical
+    #: either way, so this never appears in run signatures).
+    sampling_cached: bool = False
+    #: How the profile cache treated this run: "hit", "miss",
+    #: "uncacheable" (unfingerprintable program), or "off".
+    sampling_cache_status: str = "off"
 
     @property
     def execution_seconds(self) -> float:
@@ -133,17 +141,35 @@ class ActivePy:
     migration_enabled:
         The full-fledged framework migrates; the paper's "ActivePy w/o
         migration" ablation sets this to False.
+    profile_cache:
+        Where repeat runs find their sampling/fitting results
+        (:mod:`repro.runtime.profcache`).  ``None`` uses the
+        process-wide default cache (honouring ``REPRO_PROFCACHE`` /
+        ``REPRO_CACHE_DIR``); ``False`` disables caching for this
+        instance; a :class:`ProfileCache` pins a specific directory.
+        A cache hit skips the wall-clock work of re-profiling but
+        charges the identical simulated sampling cost, so simulated
+        results are bit-identical warm or cold.  Runs with
+        ``profiler_noise > 0`` always bypass the cache (their profiles
+        are meant to differ run to run).
     """
 
     def __init__(
         self,
         config: SystemConfig = DEFAULT_CONFIG,
         migration_enabled: bool = True,
+        profile_cache: Any = None,
     ) -> None:
         self.config = config
         self.migration_enabled = migration_enabled
         self._sampling_phase = SamplingPhase(config)
         self._codegen = CodeGenerator(config)
+        if profile_cache is None or profile_cache is True:
+            self._profile_cache: Optional[ProfileCache] = default_cache()
+        elif profile_cache is False:
+            self._profile_cache = None
+        else:
+            self._profile_cache = profile_cache
 
     def run(
         self,
@@ -198,7 +224,34 @@ class ActivePy:
         start = machine.now
 
         # 1. Sampling phase: run the program on scaled sample inputs.
-        sampling = self._sampling_phase.run(program, dataset)
+        #    The profile cache short-circuits the *wall-clock* work of
+        #    re-profiling an unchanged run; the simulated cost charged
+        #    below comes from the (bit-identical) cached report, so sim
+        #    results do not depend on cache state.  Noisy profiles are
+        #    meant to differ between runs, so noise bypasses the cache.
+        sampling: Optional[SamplingReport] = None
+        cache_key: Optional[str] = None
+        cache_status = "off"
+        cache = (
+            self._profile_cache if self.config.profiler_noise == 0 else None
+        )
+        if cache is not None:
+            invalidations_before = cache.invalidations
+            cache_key = cache.key_for(program, dataset, self.config)
+            if cache_key is None:
+                cache_status = "uncacheable"
+            else:
+                sampling = cache.get(cache_key)
+                cache_status = "hit" if sampling is not None else "miss"
+            if handle.enabled:
+                handle.count(f"profcache.{cache_status}")
+                stale = cache.invalidations - invalidations_before
+                if stale:
+                    handle.count("profcache.invalidation", stale)
+        if sampling is None:
+            sampling = self._sampling_phase.run(program, dataset)
+            if cache is not None and cache_key is not None:
+                cache.put(cache_key, sampling)
         machine.simulator.clock.advance(sampling.sampling_seconds, component="host")
         handle.record_span("sampling-phase", "sampling", "host", start, machine.now)
 
@@ -253,6 +306,8 @@ class ActivePy:
             timeline=timeline,
             obs=handle if handle.enabled else None,
             explanation=explanation,
+            sampling_cached=cache_status == "hit",
+            sampling_cache_status=cache_status,
         )
 
     @staticmethod

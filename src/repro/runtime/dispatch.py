@@ -31,7 +31,7 @@ from ..hw.topology import Machine
 from ..storage.nvme import Completion
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StatusUpdate:
     """One per-line status report from the CSD code."""
 

@@ -58,7 +58,7 @@ def payload_nbytes(payload: Dict[str, Any]) -> float:
     return total
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LineRecord:
     """What the profiler observed for one line on one sample run."""
 

@@ -30,7 +30,7 @@ from .clock import SimClock
 __all__ = ["Event", "EventQueue", "Simulator"]
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.
 
@@ -43,28 +43,46 @@ class Event:
     action: Callable[[], None] = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    #: Owning queue while the event is pending; cleared once popped so
+    #: a late cancel() cannot decrement the live count twice.
+    queue: Optional["EventQueue"] = field(compare=False, repr=False, default=None)
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.queue is not None:
+            self.queue._on_cancel()
+            self.queue = None
 
 
 class EventQueue:
-    """A stable min-heap of :class:`Event` objects."""
+    """A stable min-heap of :class:`Event` objects.
+
+    Tracks the live (non-cancelled, not yet popped) count incrementally
+    so ``len()`` is O(1) instead of a scan over the heap.
+    """
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        self._live = 0
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
+
+    def _on_cancel(self) -> None:
+        self._live -= 1
 
     def push(self, time: float, action: Callable[[], None], label: str = "") -> Event:
         """Schedule ``action`` at absolute ``time`` and return the event."""
         if time < 0:
             raise SimulationError(f"cannot schedule event at negative time {time}")
         event = Event(time=time, seq=next(self._counter), action=action, label=label)
+        event.queue = self
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
@@ -72,6 +90,8 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                self._live -= 1
+                event.queue = None
                 return event
         return None
 

@@ -16,7 +16,7 @@ from typing import Any, Optional
 from ..errors import DispatchError
 
 
-@dataclass
+@dataclass(slots=True)
 class Command:
     """A queued request (CSD function call or control message)."""
 
@@ -25,7 +25,7 @@ class Command:
     command_id: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Completion:
     """A completion entry, matched to a command by id."""
 
@@ -71,6 +71,21 @@ class _Ring:
         self._slots[self.head] = None
         self.head = (self.head + 1) % self.depth
         return item
+
+    def pop_all(self) -> list[Any]:
+        """Consume every queued item in one pass (order preserved)."""
+        head, tail = self.head, self.tail
+        if head == tail:
+            return []
+        if head < tail:
+            items = self._slots[head:tail]
+            self._slots[head:tail] = [None] * (tail - head)
+        else:
+            items = self._slots[head:] + self._slots[:tail]
+            self._slots[head:] = [None] * (self.depth - head)
+            self._slots[:tail] = [None] * tail
+        self.head = tail
+        return items
 
 
 class SubmissionQueue:
@@ -161,10 +176,7 @@ class CompletionQueue:
 
     def drain(self) -> list[Completion]:
         """Host side: consume every pending completion entry."""
-        entries = []
-        while not self._ring.is_empty:
-            entries.append(self._ring.pop())
-        return entries
+        return self._ring.pop_all()
 
 
 @dataclass

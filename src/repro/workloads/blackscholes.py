@@ -64,11 +64,12 @@ def _k_parse(p: Dict[str, Any]) -> Dict[str, Any]:
 def _k_price(p: Dict[str, Any]) -> Dict[str, Any]:
     """d1/d2, cumulative normals and the call price, in one line."""
     sqrt_t = np.sqrt(p["expiry"])
+    vol_sqrt_t = p["vol"] * sqrt_t
     d1 = (
         np.log(p["spot"] / p["strike"])
         + (p["rate"] + 0.5 * p["vol"] ** 2) * p["expiry"]
-    ) / (p["vol"] * sqrt_t)
-    d2 = d1 - p["vol"] * sqrt_t
+    ) / vol_sqrt_t
+    d2 = d1 - vol_sqrt_t
     discount = np.exp(-p["rate"] * p["expiry"])
     call = p["spot"] * _cnd(d1) - p["strike"] * discount * _cnd(d2)
     return {"price": call}

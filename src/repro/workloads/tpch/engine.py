@@ -66,8 +66,14 @@ def group_aggregate(
         name: column[starts] for name, column in zip(key_names, sorted_keys)
     }
     ends = np.append(starts[1:], n)
+    # Q1-style aggregate lists reduce the same input column several
+    # times (sum + mean); gather each distinct column once.
+    gathered: Dict[str, np.ndarray] = {}
     for out_name, (in_name, reducer) in aggregates.items():
-        values = table[in_name][order]
+        values = gathered.get(in_name)
+        if values is None:
+            values = table[in_name][order]
+            gathered[in_name] = values
         out[out_name] = np.array(
             [reducer(values[s:e]) for s, e in zip(starts, ends)]
         )

@@ -119,7 +119,8 @@ class TestSnapshotCheckRoundTrip:
         # two benches have no committed baselines and are reported.
         assert not report.deviations
         assert sorted(report.missing_results) == [
-            "checkpoint (no committed baseline)", "obs (no committed baseline)"
+            "checkpoint (no committed baseline)", "obs (no committed baseline)",
+            "wall (no committed baseline)",
         ]
 
     def test_within_tolerance_drift_passes(self, tmp_path):

@@ -1,0 +1,228 @@
+"""The profile/plan cache: keys, invalidation, bit-identical replay."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.obs import Observability
+from repro.runtime.activepy import ActivePy, RunOptions
+from repro.runtime.profcache import ProfileCache, default_cache
+from repro.workloads import get_workload
+
+from .conftest import make_toy_dataset, make_toy_program
+
+#: The chaos-campaign rotation: diverse plan shapes, cheap at 2**-8.
+ROTATION = ("tpch_q6", "kmeans", "blackscholes", "pagerank")
+SCALE = 2 ** -8
+
+
+@pytest.fixture
+def cache(tmp_path) -> ProfileCache:
+    return ProfileCache(tmp_path / "cache")
+
+
+def _strip_profcache(snapshot):
+    """Metric snapshot minus the cache's own counters.
+
+    Cache hit/miss counts legitimately differ warm vs. cold; every
+    other metric must not.
+    """
+    trimmed = dict(snapshot)
+    trimmed["counters"] = {
+        name: value
+        for name, value in snapshot["counters"].items()
+        if not name.startswith("profcache.")
+    }
+    return trimmed
+
+
+class TestKeying:
+    def test_same_run_same_key(self, cache):
+        program, dataset = make_toy_program(), make_toy_dataset()
+        key1 = cache.key_for(program, dataset, DEFAULT_CONFIG)
+        key2 = cache.key_for(make_toy_program(), make_toy_dataset(),
+                             DEFAULT_CONFIG)
+        assert key1 is not None
+        assert key1 == key2
+
+    def test_program_edit_busts_key(self, cache):
+        dataset = make_toy_dataset()
+        base = cache.key_for(make_toy_program(), dataset, DEFAULT_CONFIG)
+        # A changed cost annotation is a program edit: same structure,
+        # different plan inputs.
+        edited = cache.key_for(
+            make_toy_program(scan_instr=41.0), dataset, DEFAULT_CONFIG
+        )
+        assert base != edited
+
+    def test_kernel_source_edit_busts_key(self, cache):
+        from repro.lang.program import Program, Statement, per_record
+
+        def build(kernel):
+            return Program("toy2", [Statement(
+                "scan", kernel,
+                instructions=per_record(10.0),
+                output_bytes=per_record(4.0),
+                storage_bytes=per_record(64.0),
+            )])
+
+        def k_v1(p):
+            return {"y": p["x"] * 2.0}
+
+        def k_v2(p):
+            return {"y": p["x"] * 3.0}
+
+        dataset = make_toy_dataset()
+        assert (cache.key_for(build(k_v1), dataset, DEFAULT_CONFIG)
+                != cache.key_for(build(k_v2), dataset, DEFAULT_CONFIG))
+
+    def test_workload_config_busts_key(self, cache):
+        program = make_toy_program()
+        base = cache.key_for(program, make_toy_dataset(), DEFAULT_CONFIG)
+        resized = cache.key_for(
+            program, make_toy_dataset(n_records=10_000_001), DEFAULT_CONFIG
+        )
+        assert base != resized
+
+    def test_machine_config_busts_key(self, cache):
+        program, dataset = make_toy_program(), make_toy_dataset()
+        base = cache.key_for(program, dataset, DEFAULT_CONFIG)
+        slower = dataclasses.replace(
+            DEFAULT_CONFIG, cse_ips=DEFAULT_CONFIG.cse_ips * 0.9
+        )
+        assert base != cache.key_for(program, dataset, slower)
+
+    def test_unfingerprintable_program_is_uncacheable(self, cache):
+        from repro.lang.program import Program, Statement, per_record
+
+        class Opaque:
+            """No stable content fingerprint on purpose."""
+
+        def kernel(p, _opaque=Opaque()):
+            return dict(p)
+
+        program = Program("opaque", [Statement(
+            "scan", kernel,
+            instructions=per_record(1.0),
+            output_bytes=per_record(4.0),
+            storage_bytes=per_record(64.0),
+        )])
+        assert cache.key_for(program, make_toy_dataset(), DEFAULT_CONFIG) is None
+        assert cache.stats()["uncacheable"] == 1
+
+
+class TestRoundTrip:
+    def test_warm_run_hits_and_matches(self, cache):
+        program, dataset = make_toy_program(), make_toy_dataset()
+        runtime = ActivePy(profile_cache=cache)
+        cold = runtime.run(program, dataset)
+        warm = runtime.run(program, dataset)
+        assert not cold.sampling_cached and cold.sampling_cache_status == "miss"
+        assert warm.sampling_cached and warm.sampling_cache_status == "hit"
+        assert warm.total_seconds == cold.total_seconds
+        assert warm.plan.assignments == cold.plan.assignments
+        assert cache.stats()["hits"] == 1
+
+    def test_cache_disabled_instance(self):
+        program, dataset = make_toy_program(), make_toy_dataset()
+        runtime = ActivePy(profile_cache=False)
+        report = runtime.run(program, dataset)
+        assert report.sampling_cache_status == "off"
+
+    def test_noisy_profiler_bypasses_cache(self, cache):
+        config = dataclasses.replace(DEFAULT_CONFIG, profiler_noise=0.05)
+        runtime = ActivePy(config, profile_cache=cache)
+        program, dataset = make_toy_program(), make_toy_dataset()
+        report = runtime.run(program, dataset)
+        assert report.sampling_cache_status == "off"
+        assert cache.stats() == {
+            "hits": 0, "misses": 0, "invalidations": 0, "uncacheable": 0,
+        }
+
+    def test_env_var_disables_default_cache(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFCACHE", "0")
+        assert default_cache() is None
+        monkeypatch.setenv("REPRO_PROFCACHE", "1")
+        assert default_cache() is not None
+
+
+class TestCorruption:
+    def _entry_path(self, cache, key):
+        return cache.root / "profiles" / f"{key}.json"
+
+    def _populate(self, cache):
+        program, dataset = make_toy_program(), make_toy_dataset()
+        ActivePy(profile_cache=cache).run(program, dataset)
+        key = cache.key_for(program, dataset, DEFAULT_CONFIG)
+        assert self._entry_path(cache, key).exists()
+        return program, dataset, key
+
+    def test_truncated_entry_warns_and_recomputes(self, cache):
+        program, dataset, key = self._populate(cache)
+        self._entry_path(cache, key).write_text("{ not json", encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="profile cache"):
+            report = ActivePy(profile_cache=cache).run(program, dataset)
+        assert report.sampling_cache_status == "miss"
+        assert cache.stats()["invalidations"] == 1
+        # The bad entry was dropped and rewritten: next run hits again.
+        warm = ActivePy(profile_cache=cache).run(program, dataset)
+        assert warm.sampling_cache_status == "hit"
+
+    def test_checksum_mismatch_never_served(self, cache):
+        program, dataset, key = self._populate(cache)
+        path = self._entry_path(cache, key)
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        # A stale entry in disguise: valid JSON, doctored payload.
+        envelope["payload"]["sampling_seconds"] = 123.0
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        with pytest.warns(RuntimeWarning):
+            report = ActivePy(profile_cache=cache).run(program, dataset)
+        assert report.sampling_cache_status == "miss"
+
+    def test_schema_bump_invalidates(self, cache):
+        program, dataset, key = self._populate(cache)
+        path = self._entry_path(cache, key)
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        envelope["schema_version"] = 999
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        with pytest.warns(RuntimeWarning):
+            report = ActivePy(profile_cache=cache).run(program, dataset)
+        assert report.sampling_cache_status == "miss"
+
+
+class TestBitIdenticalRotation:
+    @pytest.mark.parametrize("name", ROTATION)
+    def test_warm_vs_cold_identical(self, name, cache):
+        workload = get_workload(name, scale=SCALE)
+
+        def observed_run():
+            obs = Observability()
+            report = ActivePy(profile_cache=cache).run(
+                workload.program, workload.dataset,
+                options=RunOptions(obs=obs),
+            )
+            return report, obs.snapshot()
+
+        cold, cold_metrics = observed_run()
+        warm, warm_metrics = observed_run()
+        assert cold.sampling_cache_status == "miss"
+        assert warm.sampling_cache_status == "hit"
+        assert warm.total_seconds == cold.total_seconds
+        assert warm.result.total_seconds == cold.result.total_seconds
+        assert warm.plan.assignments == cold.plan.assignments
+        assert warm.summary() == cold.summary()
+        assert _strip_profcache(warm_metrics) == _strip_profcache(cold_metrics)
+
+    def test_obs_counts_cache_traffic(self, cache):
+        workload = get_workload("tpch_q6", scale=SCALE)
+        obs = Observability()
+        runtime = ActivePy(profile_cache=cache)
+        runtime.run(workload.program, workload.dataset,
+                    options=RunOptions(obs=obs))
+        runtime.run(workload.program, workload.dataset,
+                    options=RunOptions(obs=obs))
+        counters = obs.snapshot()["counters"]
+        assert counters.get("profcache.miss") == 1.0
+        assert counters.get("profcache.hit") == 1.0

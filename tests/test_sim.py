@@ -85,6 +85,36 @@ class TestEventQueue:
         with pytest.raises(SimulationError):
             EventQueue().push(-1.0, lambda: None)
 
+    def test_len_tracks_push_pop_cancel(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(5)]
+        assert len(queue) == 5
+        events[2].cancel()
+        assert len(queue) == 4
+        queue.pop()
+        assert len(queue) == 3
+        # Double-cancel must not decrement twice.
+        events[2].cancel()
+        assert len(queue) == 3
+        # Cancelling an already-popped event must not decrement.
+        events[0].cancel()
+        assert len(queue) == 3
+        while queue.pop() is not None:
+            pass
+        assert len(queue) == 0
+
+    def test_len_matches_live_scan_under_churn(self):
+        queue = EventQueue()
+        events = []
+        for i in range(40):
+            events.append(queue.push(float(i % 7), lambda: None))
+            if i % 3 == 0:
+                events[i // 2].cancel()
+            if i % 5 == 0:
+                queue.pop()
+        live_scan = sum(1 for e in queue._heap if not e.cancelled)
+        assert len(queue) == live_scan
+
 
 class TestSimulator:
     def test_schedule_after_uses_now(self):
