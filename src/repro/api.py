@@ -42,13 +42,25 @@ from .errors import (
     DeadlineError,
     DeviceLostError,
     FaultError,
+    IntegrityError,
     ObservabilityError,
     ReproError,
     UncorrectableMediaError,
 )
-from .faults import FaultEvent, FaultInjector, FaultKind, FaultLog, FaultPlan, FaultSpec
+from .faults import (
+    FAULT_KIND_INFO,
+    LOUD_KINDS,
+    SILENT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultLog,
+    FaultPlan,
+    FaultSpec,
+)
 from .frontend import program_from_function
 from .hw.topology import Machine, build_machine
+from .integrity import CLEAN_DIGEST, IntegrityChecker
 from .lang import ProgramBuilder, array_dataset, dataset_of
 from .lang.dataset import Dataset
 from .lang.program import Program, Statement
@@ -86,6 +98,7 @@ __all__ = [
     "ActivePy",
     "ActivePyReport",
     "AttributionReport",
+    "CLEAN_DIGEST",
     "CampaignConfig",
     "CampaignResult",
     "ChaosError",
@@ -100,6 +113,7 @@ __all__ = [
     "ExecutionMode",
     "ExecutionResult",
     "ExecutionTimeline",
+    "FAULT_KIND_INFO",
     "FaultError",
     "FaultEvent",
     "FaultInjector",
@@ -111,6 +125,9 @@ __all__ = [
     "GatedMetric",
     "Gauge",
     "Histogram",
+    "IntegrityChecker",
+    "IntegrityError",
+    "LOUD_KINDS",
     "LineExplanation",
     "Machine",
     "MetricsRegistry",
@@ -125,6 +142,7 @@ __all__ = [
     "ReportLike",
     "ReproError",
     "RunOptions",
+    "SILENT_KINDS",
     "Span",
     "Statement",
     "StaticIspBaseline",

@@ -20,7 +20,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from .._deprecations import warn_once
 from ..config import DEFAULT_CONFIG, SystemConfig
 from ..errors import ChaosError
-from ..faults.spec import FaultPlan
+from ..faults.spec import LOUD_KINDS, SILENT_KINDS, FaultPlan
 from ..hw.topology import build_machine
 from ..obs import Observability
 from ..runtime.activepy import ActivePy, ActivePyReport, RunOptions
@@ -127,6 +127,11 @@ class CampaignConfig:
     system_config: SystemConfig = DEFAULT_CONFIG
     shrink_failures: bool = True
     max_shrink_probes: int = 128
+    #: Widen the fault-plan kind pool to include the silent-corruption
+    #: kinds (:data:`~repro.faults.spec.SILENT_KINDS`).  Off by default:
+    #: silent faults are only survivable with the integrity layer on, so
+    #: campaigns opt in together with ``integrity_enabled``.
+    silent_corruption: bool = False
     #: Attach a per-run metrics snapshot to every outcome — the numbers
     #: a violation repro needs (retries, fallbacks, torn writes) without
     #: re-running under a debugger.
@@ -232,11 +237,13 @@ class ChaosHarness:
         scale: float = DEFAULT_SCALE,
         fault_count: int = 3,
         collect_metrics: bool = False,
+        silent_corruption: bool = False,
     ) -> None:
         self.system_config = system_config
         self.scale = scale
         self.fault_count = fault_count
         self.collect_metrics = collect_metrics
+        self.silent_corruption = silent_corruption
         self._baselines: Dict[str, ActivePyReport] = {}
 
     # --- building blocks --------------------------------------------------
@@ -260,11 +267,16 @@ class ChaosHarness:
         """
         baseline = self.baseline(workload_name)
         offset = 0.8 * baseline.overhead_seconds
+        # LOUD_KINDS is the historical pool; appending the silent kinds
+        # (rather than replacing) keeps loud plans for a given seed
+        # related to their silent-campaign counterparts.
+        kinds = LOUD_KINDS + SILENT_KINDS if self.silent_corruption else None
         return FaultPlan.random(
             seed=seed,
             horizon_s=baseline.total_seconds - offset,
             count=self.fault_count,
             offset_s=offset,
+            kinds=kinds,
         )
 
     def run_plan(self, workload_name: str, plan: FaultPlan,
@@ -328,6 +340,11 @@ def replay_command(outcome: ChaosRunOutcome, config: CampaignConfig) -> str:
         parts.append(f"--scale {config.scale}")
     if not config.system_config.checkpoint_validate:
         parts.append("--no-validate")
+    if config.silent_corruption:
+        parts.append("--sdc")
+    if (config.system_config.integrity_enabled
+            and not config.system_config.integrity_verify):
+        parts.append("--no-verify")
     return " ".join(parts)
 
 
@@ -341,6 +358,7 @@ def run_campaign(
         scale=config.scale,
         fault_count=config.fault_count,
         collect_metrics=config.collect_metrics,
+        silent_corruption=config.silent_corruption,
     )
     result = CampaignResult(config=config)
     for run in range(config.runs):

@@ -26,16 +26,21 @@ class InvariantViolation:
         return f"{self.name}: {self.detail}"
 
 
-def run_signature(report) -> Tuple[str, Tuple[str, ...]]:
-    """The logical outcome of a run: which program, which lines, in order.
+def run_signature(report) -> Tuple[str, Tuple[str, ...], str]:
+    """The logical outcome of a run: program, lines in order, content digest.
 
     The simulator charges costs rather than computing values, so two
     runs are "result-equal" when they executed the same program lines
     in the same order to completion — a faulted run may relocate work,
-    never drop or reorder it.
+    never drop or reorder it.  The trailing ``output_digest``
+    (:mod:`repro.integrity`) is the content signature of the reported
+    result: silent corruption that survives into the report perturbs the
+    digest even though every line still "ran", which is what makes
+    undetected corruption visible to result-equality at all.
     """
     result = report.result
-    return (result.program_name, tuple(t.name for t in result.line_timings))
+    digest = getattr(result, "output_digest", "")
+    return (result.program_name, tuple(t.name for t in result.line_timings), digest)
 
 
 def check_invariants(report, baseline, program) -> List[InvariantViolation]:
@@ -66,6 +71,24 @@ def check_invariants(report, baseline, program) -> List[InvariantViolation]:
         violations.append(InvariantViolation(
             "result-equality", f"expected {expected}, got {actual}",
         ))
+
+    # 2b. Corruption detected before report: a run whose signature
+    #     differs from the fault-free baseline without a single
+    #     ``integrity-detected`` event means corrupted data flowed into
+    #     the report with nothing in the machine noticing — the exact
+    #     failure mode end-to-end checksums exist to rule out.
+    if actual != expected:
+        detections = [
+            event for event in result.fault_events
+            if event.action == "integrity-detected"
+        ]
+        if not detections:
+            violations.append(InvariantViolation(
+                "corruption-detected-before-report",
+                "report signature differs from the fault-free baseline "
+                "but no integrity-detected event was recorded — silent "
+                "corruption reached the report undetected",
+            ))
 
     # 3. Sim-clock monotonicity: the run occupies a well-formed time
     #    span and every fault event falls inside it, in order.

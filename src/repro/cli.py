@@ -11,7 +11,9 @@
     python -m repro ladder | prediction        # the §V results
     python -m repro chaos [--runs N]           # randomized fault campaign
     python -m repro chaos --workers 4          # ... across worker processes
+    python -m repro chaos --sdc                # ... with silent-corruption faults
     python -m repro chaos --workload W --seed S  # replay one seeded run
+    python -m repro faults list                # catalogue of injectable faults
     python -m repro explain run tpch_q6        # plan vs. reality + critical path
     python -m repro bench                      # wall-clock perf-layer benchmark
     python -m repro perf check                 # gate BENCH_*.json vs baselines
@@ -256,12 +258,20 @@ def _cmd_chaos(args) -> int:
         # The deliberately planted bug: trust checkpoint records without
         # CRC validation.  Campaigns with torn-write faults must catch it.
         system_config = dataclasses.replace(system_config, checkpoint_validate=False)
+    if args.sdc or args.no_verify:
+        # Silent-corruption mode arms the integrity layer; --no-verify is
+        # its planted bug — digests computed and paid for, never compared.
+        system_config = dataclasses.replace(
+            system_config,
+            integrity_enabled=True,
+            integrity_verify=not args.no_verify,
+        )
 
     if args.workload is not None:
         # Replay mode: one fully seeded experiment, verdict on stdout.
         harness = ChaosHarness(
             system_config=system_config, scale=args.scale,
-            fault_count=args.fault_count,
+            fault_count=args.fault_count, silent_corruption=args.sdc,
         )
         outcome = harness.run_seed(args.workload, args.seed)
         print(f"replaying {args.workload} seed={args.seed} "
@@ -292,6 +302,7 @@ def _cmd_chaos(args) -> int:
         fault_count=args.fault_count,
         scale=args.scale,
         system_config=system_config,
+        silent_corruption=args.sdc,
     )
 
     def progress(outcome):
@@ -313,6 +324,22 @@ def _cmd_chaos(args) -> int:
         export.dump(result, args.json)
         print(f"wrote {args.json}")
     return 0 if result.ok else 1
+
+
+def _cmd_faults_list(args) -> int:
+    from .faults.spec import FAULT_KIND_INFO, SILENT_KINDS, FaultKind
+
+    rows = []
+    for kind in FaultKind:
+        description, target = FAULT_KIND_INFO[kind]
+        silent = "silent" if kind in SILENT_KINDS else "loud"
+        rows.append([kind.value, silent, target, description])
+    print(format_table(["kind", "class", "default target", "description"], rows))
+    print()
+    print("loud faults fail operations the runtime can see; silent faults "
+          "corrupt data\nin flight and are only caught by the integrity "
+          "layer (chaos --sdc).")
+    return 0
 
 
 def _cmd_explain(args) -> int:
@@ -553,6 +580,17 @@ def build_parser() -> argparse.ArgumentParser:
              "campaign exists to catch)",
     )
     chaos_parser.add_argument(
+        "--sdc", action="store_true",
+        help="include silent-data-corruption faults in the plan pool and "
+             "enable the end-to-end integrity layer that catches them",
+    )
+    chaos_parser.add_argument(
+        "--no-verify", action="store_true",
+        help="enable the integrity layer but skip digest comparison (the "
+             "planted bug: corruption must then reach the report and "
+             "violate corruption-detected-before-report)",
+    )
+    chaos_parser.add_argument(
         "--workers", type=int, default=1, metavar="N",
         help="run the campaign across N worker processes (same outcomes "
              "as serial, just faster; default: 1)",
@@ -561,6 +599,16 @@ def build_parser() -> argparse.ArgumentParser:
                               help="print a line per campaign run")
     chaos_parser.add_argument("--json", metavar="PATH", default=None)
     chaos_parser.set_defaults(fn=_cmd_chaos)
+
+    faults_parser = sub.add_parser(
+        "faults", help="the deterministic fault-injection catalogue"
+    )
+    faults_sub = faults_parser.add_subparsers(dest="faults_command",
+                                              required=True)
+    faults_list = faults_sub.add_parser(
+        "list", help="list every injectable fault kind with its default target"
+    )
+    faults_list.set_defaults(fn=_cmd_faults_list)
 
     explain_parser = sub.add_parser(
         "explain",

@@ -176,6 +176,25 @@ class SystemConfig:
     #: sweeps nonzero values.
     checkpoint_write_cost_s: float = 0.0
 
+    # --- end-to-end data integrity ------------------------------------
+    #: Compute content digests where data is produced (NAND streams,
+    #: chunk outputs, checkpoint records, transfer payloads) and verify
+    #: them where it is consumed (executor result assembly, BAR
+    #: readback, checkpoint restore).  Off by default with exactly zero
+    #: simulated and metric overhead — the same discipline as obs and
+    #: checkpointing.
+    integrity_enabled: bool = False
+    #: Actually *check* the digests at consumers.  ``False`` while
+    #: ``integrity_enabled`` is the deliberately planted bug the chaos
+    #: harness must catch: digests are computed and paid for but never
+    #: compared, so silent corruption flows into the report.
+    integrity_verify: bool = True
+    #: Bytes/second one verifier sustains (hardware CRC32C runs near
+    #: memory speed).  Every protected byte is charged ``1 / bandwidth``
+    #: seconds to the ``integrity`` attribution component, which is what
+    #: makes protection a planner-visible tradeoff.
+    integrity_verify_bandwidth: float = 64.0 * GB
+
     def __post_init__(self) -> None:
         positive_fields = (
             "host_ips", "cse_ips", "bw_host_storage", "bw_internal",
@@ -183,6 +202,7 @@ class SystemConfig:
             "nand_page_bytes", "nand_pages_per_block", "nand_channels",
             "nand_read_latency_s", "nand_program_latency_s",
             "nand_erase_latency_s", "bw_remote_access", "cse_cores",
+            "integrity_verify_bandwidth",
         )
         for name in positive_fields:
             if getattr(self, name) <= 0:

@@ -38,6 +38,16 @@ class UncorrectableMediaError(FaultError, FlashError):
     """A NAND read failed beyond the ECC correction capability."""
 
 
+class IntegrityError(FaultError):
+    """An end-to-end checksum caught silently corrupted data.
+
+    Raised by the verifiers in :mod:`repro.integrity` when a content
+    digest computed at the producer does not match the bytes seen at the
+    consumer.  It is a :class:`FaultError` so the executor's existing
+    recovery machinery (chunk replay, host fallback) handles it.
+    """
+
+
 class CseCrashError(FaultError):
     """The computational storage engine crashed and lost its task state."""
 

@@ -15,13 +15,23 @@ execution reports expose for observability.
 
 from .injector import FaultInjector
 from .log import FaultEvent, FaultLog
-from .spec import FaultKind, FaultPlan, FaultSpec
+from .spec import (
+    FAULT_KIND_INFO,
+    LOUD_KINDS,
+    SILENT_KINDS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+)
 
 __all__ = [
+    "FAULT_KIND_INFO",
     "FaultEvent",
     "FaultInjector",
     "FaultKind",
     "FaultLog",
     "FaultPlan",
     "FaultSpec",
+    "LOUD_KINDS",
+    "SILENT_KINDS",
 ]

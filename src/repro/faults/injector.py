@@ -19,6 +19,16 @@ from ..sim.engine import Event
 from .log import FaultLog
 from .spec import FaultKind, FaultPlan, FaultSpec
 
+#: Kinds not bound to the target device's firmware generation.  Link
+#: faults live on the interconnect, not in device state; bitrot lives
+#: in device DRAM, which survives a firmware reset (only the engine
+#: restarts), so a reset must not launder a decayed record.
+_GENERATION_EXEMPT = frozenset({
+    FaultKind.LINK_DEGRADE,
+    FaultKind.BAR_TRANSFER_CORRUPTION,
+    FaultKind.CHECKPOINT_SILENT_BITROT,
+})
+
 
 class FaultInjector:
     """Schedules a :class:`FaultPlan` against one machine."""
@@ -48,7 +58,7 @@ class FaultInjector:
         self._armed = True
         for spec in self.plan.sorted_specs():
             generation = None
-            if spec.kind is not FaultKind.LINK_DEGRADE:
+            if spec.kind not in _GENERATION_EXEMPT:
                 try:
                     generation = self._device(spec).generation
                 except FaultError:
@@ -139,6 +149,28 @@ class FaultInjector:
             device = self._device(spec)
             device.checkpoints.arm_torn_write(spec.count)
             detail = f"next {spec.count} checkpoint write(s) torn"
+        elif kind is FaultKind.NAND_SILENT_CORRUPTION:
+            device = self._device(spec)
+            device.flash.arm_silent_corruption(
+                count=spec.count, persistent=spec.persistent
+            )
+            detail = (
+                "persistent silent corruption"
+                if spec.persistent
+                else f"next {spec.count} read(s) silently corrupted"
+            )
+        elif kind is FaultKind.BAR_TRANSFER_CORRUPTION:
+            link = self._link(spec)
+            link.arm_transfer_corruption(spec.count)
+            detail = f"next {spec.count} payload(s) garbled in flight"
+        elif kind is FaultKind.CHECKPOINT_SILENT_BITROT:
+            device = self._device(spec)
+            rotted = device.checkpoints.rot_committed(spec.count)
+            detail = (
+                f"{rotted} committed record(s) decayed in BAR memory"
+                if rotted
+                else "no committed record to decay"
+            )
         elif kind is FaultKind.LINK_DEGRADE:
             link = self._link(spec)
             link.set_degradation(spec.factor)

@@ -39,10 +39,95 @@ class FaultKind(str, enum.Enum):
     #: mid-DMA (head lands, tail scrambled) — the power-event hazard
     #: the double-buffer/CRC protocol exists to survive.
     CHECKPOINT_TORN_WRITE = "checkpoint-torn-write"
+    #: Bits flip on the next ``count`` NAND reads *without* an error
+    #: completion — the data is wrong and nobody is told (the silent
+    #: hazard the :mod:`repro.integrity` checksum layer exists to catch).
+    NAND_SILENT_CORRUPTION = "nand-silent-corruption"
+    #: The next ``count`` payloads crossing a link are garbled in
+    #: flight; the transfer itself completes normally.
+    BAR_TRANSFER_CORRUPTION = "bar-transfer-corruption"
+    #: A committed checkpoint record decays in BAR memory *after* its
+    #: CRC was written — bitrot, not a torn DMA.
+    CHECKPOINT_SILENT_BITROT = "checkpoint-silent-bitrot"
 
 
-#: LINK_DEGRADE targets understood by the injector.
+#: Link-shaped targets understood by the injector (LINK_DEGRADE and
+#: BAR_TRANSFER_CORRUPTION name a link, not a device).
 LINK_TARGETS = ("d2h", "host-storage", "remote-access", "internal")
+
+#: Faults that surface through the normal error machinery: a failed
+#: completion, a crash, extra latency, a CRC-detectable tear.  This is
+#: the default kind pool for generated plans, so pre-existing seeds
+#: keep producing byte-identical plans.
+LOUD_KINDS = (
+    FaultKind.NAND_READ_CORRECTABLE,
+    FaultKind.NAND_READ_UNCORRECTABLE,
+    FaultKind.NVME_COMPLETION_LOSS,
+    FaultKind.NVME_COMPLETION_DELAY,
+    FaultKind.NVME_QUEUE_STALL,
+    FaultKind.CSE_CRASH,
+    FaultKind.LINK_DEGRADE,
+    FaultKind.CHECKPOINT_TORN_WRITE,
+)
+
+#: Faults that corrupt data without any error completion.  Only the
+#: end-to-end integrity layer (:mod:`repro.integrity`) can catch them;
+#: campaigns opt in via ``silent_corruption`` / ``--sdc``.
+SILENT_KINDS = (
+    FaultKind.NAND_SILENT_CORRUPTION,
+    FaultKind.BAR_TRANSFER_CORRUPTION,
+    FaultKind.CHECKPOINT_SILENT_BITROT,
+)
+
+#: One-line description and default target per kind, for the
+#: ``repro faults list`` CLI and the docs table.  Every member of
+#: :class:`FaultKind` must have an entry (pinned by a test).
+FAULT_KIND_INFO = {
+    FaultKind.NAND_READ_CORRECTABLE: (
+        "a NAND read needs ECC re-read retries (extra latency, data fine)",
+        "csd",
+    ),
+    FaultKind.NAND_READ_UNCORRECTABLE: (
+        "a NAND read fails beyond the ECC budget (UncorrectableMediaError)",
+        "csd",
+    ),
+    FaultKind.NVME_COMPLETION_LOSS: (
+        "the device drops the next completion(s) it would post",
+        "csd",
+    ),
+    FaultKind.NVME_COMPLETION_DELAY: (
+        "the next completion becomes visible to the host late",
+        "csd",
+    ),
+    FaultKind.NVME_QUEUE_STALL: (
+        "the queue pair stops making progress for a window",
+        "csd",
+    ),
+    FaultKind.CSE_CRASH: (
+        "the CSE crashes mid-task; optionally resets after duration_s",
+        "csd",
+    ),
+    FaultKind.LINK_DEGRADE: (
+        "a link runs at `factor` of its bandwidth for duration_s",
+        "link (" + "|".join(LINK_TARGETS) + ")",
+    ),
+    FaultKind.CHECKPOINT_TORN_WRITE: (
+        "the next count checkpoint writes are torn mid-DMA",
+        "csd",
+    ),
+    FaultKind.NAND_SILENT_CORRUPTION: (
+        "bits flip on the next count NAND reads with no error completion",
+        "csd",
+    ),
+    FaultKind.BAR_TRANSFER_CORRUPTION: (
+        "the next count payloads crossing a link are garbled in flight",
+        "link (" + "|".join(LINK_TARGETS) + ")",
+    ),
+    FaultKind.CHECKPOINT_SILENT_BITROT: (
+        "a committed checkpoint record decays after its CRC was written",
+        "csd",
+    ),
+}
 
 
 @dataclass(frozen=True)
@@ -50,8 +135,9 @@ class FaultSpec:
     """One timed fault.
 
     ``target`` names the device the fault lands on (``"csd"`` by
-    default), except for :attr:`FaultKind.LINK_DEGRADE` where it names a
-    link (one of :data:`LINK_TARGETS`).
+    default), except for :attr:`FaultKind.LINK_DEGRADE` and
+    :attr:`FaultKind.BAR_TRANSFER_CORRUPTION` where it names a link
+    (one of :data:`LINK_TARGETS`).
     """
 
     kind: FaultKind
@@ -69,8 +155,9 @@ class FaultSpec:
     retries: int = 3
     #: Remaining bandwidth fraction during a LINK_DEGRADE window.
     factor: float = 1.0
-    #: An uncorrectable NAND fault that survives chunk replays (forces
-    #: the executor's host fallback instead of a successful re-read).
+    #: A NAND fault (uncorrectable or silent-corruption) that survives
+    #: chunk replays — forces the executor's host fallback instead of a
+    #: successful re-read.
     persistent: bool = False
 
     def __post_init__(self) -> None:
@@ -100,6 +187,47 @@ class FaultSpec:
             raise FaultError("NVME_QUEUE_STALL needs a positive duration_s")
         if self.kind is FaultKind.NVME_COMPLETION_DELAY and self.duration_s <= 0:
             raise FaultError("NVME_COMPLETION_DELAY needs a positive duration_s")
+        if (
+            self.kind is FaultKind.BAR_TRANSFER_CORRUPTION
+            and self.target not in LINK_TARGETS
+        ):
+            raise FaultError(
+                f"BAR_TRANSFER_CORRUPTION target must be one of {LINK_TARGETS}, "
+                f"got {self.target!r}"
+            )
+
+    # --- replay serialisation ---------------------------------------------
+
+    def to_jsonable(self) -> dict:
+        """A JSON-safe dict that round-trips through :meth:`from_jsonable`."""
+        return {
+            "kind": self.kind.value,
+            "at_time": self.at_time,
+            "target": self.target,
+            "duration_s": self.duration_s,
+            "count": self.count,
+            "retries": self.retries,
+            "factor": self.factor,
+            "persistent": self.persistent,
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: dict) -> "FaultSpec":
+        """Rebuild a spec from :meth:`to_jsonable` output.
+
+        Every field is restored — dropping one here is exactly the kind
+        of replay-path bug that makes a shrunk repro non-reproducible.
+        """
+        return cls(
+            kind=FaultKind(payload["kind"]),
+            at_time=float(payload["at_time"]),
+            target=str(payload.get("target", "csd")),
+            duration_s=float(payload.get("duration_s", 0.0)),
+            count=int(payload.get("count", 1)),
+            retries=int(payload.get("retries", 3)),
+            factor=float(payload.get("factor", 1.0)),
+            persistent=bool(payload.get("persistent", False)),
+        )
 
 
 @dataclass(frozen=True)
@@ -129,6 +257,22 @@ class FaultPlan:
         """Specs in injection order (stable for equal timestamps)."""
         return tuple(sorted(self.specs, key=lambda spec: spec.at_time))
 
+    def to_jsonable(self) -> dict:
+        """A JSON-safe dict that round-trips through :meth:`from_jsonable`."""
+        return {
+            "seed": self.seed,
+            "specs": [spec.to_jsonable() for spec in self.specs],
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: dict) -> "FaultPlan":
+        return cls(
+            specs=tuple(
+                FaultSpec.from_jsonable(entry) for entry in payload.get("specs", ())
+            ),
+            seed=int(payload.get("seed", 0)),
+        )
+
     @classmethod
     def random(
         cls,
@@ -155,7 +299,9 @@ class FaultPlan:
         if count < 1:
             raise FaultError(f"count must be at least 1, got {count}")
         rng = random.Random(seed)
-        chosen_kinds = tuple(kinds) if kinds else tuple(FaultKind)
+        # Default pool = LOUD_KINDS, not tuple(FaultKind): growing the
+        # enum must never reshuffle plans generated from old seeds.
+        chosen_kinds = tuple(kinds) if kinds else LOUD_KINDS
         specs = []
         for _ in range(count):
             kind = rng.choice(chosen_kinds)
@@ -197,6 +343,26 @@ class FaultPlan:
                 specs.append(FaultSpec(
                     kind=kind, at_time=at_time, target=target,
                     retries=rng.randint(1, 8),
+                ))
+            elif kind is FaultKind.NAND_SILENT_CORRUPTION:
+                # A quarter of generated corruptions are persistent —
+                # replaying the read keeps returning flipped bits, so
+                # detection must escalate to the host fallback.
+                specs.append(FaultSpec(
+                    kind=kind, at_time=at_time, target=target,
+                    count=rng.randint(1, 3),
+                    persistent=rng.random() < 0.25,
+                ))
+            elif kind is FaultKind.BAR_TRANSFER_CORRUPTION:
+                specs.append(FaultSpec(
+                    kind=kind, at_time=at_time,
+                    target=rng.choice(LINK_TARGETS),
+                    count=rng.randint(1, 2),
+                ))
+            elif kind is FaultKind.CHECKPOINT_SILENT_BITROT:
+                specs.append(FaultSpec(
+                    kind=kind, at_time=at_time, target=target,
+                    count=rng.randint(1, 2),
                 ))
             else:  # NAND_READ_UNCORRECTABLE
                 # A third of generated media faults are persistent (the

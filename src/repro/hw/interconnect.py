@@ -44,6 +44,11 @@ class Link:
         self.bytes_transferred = 0.0
         self.transfers = 0
         self._degradation = 1.0
+        # Armed in-flight corruptions: the next N payload transfers are
+        # garbled but complete normally (fault injection; consumed by
+        # the integrity layer's readback checks).
+        self._corrupt_armed = 0
+        self.corrupted_transfers = 0
         self.obs = obs if obs is not None else Observability.disabled()
         # Attribution bucket for time spent on this link: host-visible
         # links are "pcie"; the CSD-internal bus is built with "nand".
@@ -75,6 +80,38 @@ class Link:
         self._degradation = float(factor)
         if self.obs.enabled:
             self.obs.metrics.gauge(self._m_degradation).set(factor)
+
+    # --- silent transfer corruption (fault injection) ------------------
+
+    def arm_transfer_corruption(self, count: int = 1) -> None:
+        """Garble the next ``count`` payload transfers in flight.
+
+        The transfers still complete in normal time with no error —
+        only an end-to-end checksum over the payload can tell.  Control
+        messages (:meth:`message`) carry no payload and are unaffected.
+        """
+        if count < 1:
+            raise HardwareError(
+                f"link {self.name!r} corruption count must be >= 1, got {count}"
+            )
+        self._corrupt_armed += count
+
+    @property
+    def transfer_corruption_armed(self) -> bool:
+        return self._corrupt_armed > 0
+
+    def consume_transfer_corruption(self) -> bool:
+        """True when the payload just moved across this link was garbled.
+
+        Called by the consumer-side integrity checks after a payload
+        transfer; decrements the armed count.  Free and silent — the
+        link itself reports nothing.
+        """
+        if self._corrupt_armed <= 0:
+            return False
+        self._corrupt_armed -= 1
+        self.corrupted_transfers += 1
+        return True
 
     @property
     def effective_bandwidth(self) -> float:

@@ -27,6 +27,11 @@ component that consumed the time:
     taxonomy, not because the simulator charges it today.
 ``checkpoint`` / ``migration``
     Checkpoint write costs and migration compile/state-transfer costs.
+``integrity``
+    End-to-end checksum verification (:mod:`repro.integrity`): the
+    per-byte digest-check cost paid at every protected consumption
+    point when ``integrity_enabled`` is on.  Empty by default — the
+    integrity layer charges nothing when disabled.
 
 **The sum identity is exact, not approximate.**  Each movement is kept
 as the pair ``(old, new)`` and re-expressed at report time as a
@@ -73,6 +78,7 @@ COMPONENTS = (
     "ftl",
     "checkpoint",
     "migration",
+    "integrity",
 )
 
 #: Unlabelled clock movement lands here: the host runtime owns the

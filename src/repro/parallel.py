@@ -65,6 +65,7 @@ def _init_worker(
     scale: float,
     fault_count: int,
     collect_metrics: bool,
+    silent_corruption: bool,
 ) -> None:
     global _WORKER_HARNESS
     if _WORKER_HARNESS is None:
@@ -73,6 +74,7 @@ def _init_worker(
             scale=scale,
             fault_count=fault_count,
             collect_metrics=collect_metrics,
+            silent_corruption=silent_corruption,
         )
 
 
@@ -116,6 +118,7 @@ def run_campaign_parallel(
         scale=config.scale,
         fault_count=config.fault_count,
         collect_metrics=config.collect_metrics,
+        silent_corruption=config.silent_corruption,
     )
     context = _pool_context()
     if context.get_start_method() == "fork":
@@ -136,7 +139,8 @@ def run_campaign_parallel(
             mp_context=context,
             initializer=_init_worker,
             initargs=(config.system_config, config.scale,
-                      config.fault_count, config.collect_metrics),
+                      config.fault_count, config.collect_metrics,
+                      config.silent_corruption),
         ) as pool:
             for outcome in pool.map(_run_task, tasks):
                 result.outcomes.append(outcome)

@@ -111,6 +111,15 @@ GATED_METRICS: Dict[str, Tuple[GatedMetric, ...]] = {
             "torn_write_recovery.crash_torn_records_seconds", "max", rel_tol=0.02
         ),
     ),
+    "integrity": (
+        # The "disabled means free" contract, pinned at exactly zero:
+        # any simulated cost leaking out of the off-by-default layer is
+        # a regression in either direction.
+        GatedMetric("disabled_overhead.overhead_seconds", "both"),
+        GatedMetric("protection_cost.enabled_seconds", "max", rel_tol=0.01),
+        GatedMetric("protection_cost.overhead_seconds", "max", rel_tol=0.02),
+        GatedMetric("detection_recovery.corrupted_seconds", "max", rel_tol=0.02),
+    ),
     # Wall-clock ratios, not simulated seconds: noisy by nature, hence
     # the wide bands.  A fraction that *grows* past the slack means the
     # performance layer stopped removing wall work (e.g. the profile

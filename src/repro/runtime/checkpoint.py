@@ -38,6 +38,7 @@ from typing import Optional, Sequence, Tuple
 
 from ..errors import CheckpointError
 from ..faults import FaultLog
+from ..integrity import IntegrityChecker
 
 _MAGIC = b"ACK1"
 _HEAD = struct.Struct("!4sQQdH")  # magic, generation, line_index, sim_time, nvars
@@ -148,6 +149,14 @@ class CheckpointManager:
         self.area = device.checkpoints
         self.fault_log = fault_log if fault_log is not None else FaultLog()
         self.obs = device.obs
+        # Record-level digest checks on the read side (silent bitrot in
+        # BAR memory is caught here; free and silent when disabled).
+        self.integrity = IntegrityChecker(
+            config=config,
+            clock=device.simulator.clock,
+            fault_log=self.fault_log,
+            obs=self.obs,
+        )
         self.saves = 0
         self.restores = 0
         #: Restores served by the older generation (torn newest slot).
@@ -208,10 +217,21 @@ class CheckpointManager:
     def restore(self) -> Optional[CheckpointRecord]:
         """The newest trustworthy record in the area, if any."""
         validate = bool(self.config.checkpoint_validate)
-        records = [
-            decode_record(self.area.read(slot), validate=validate)
-            for slot in (0, 1)
-        ]
+        records = []
+        for slot in (0, 1):
+            blob = self.area.read(slot)
+            record = decode_record(blob, validate=validate)
+            if blob is not None and self.integrity.enabled:
+                self.integrity.charge_verify(len(blob))
+                if record is None and validate:
+                    # The slot holds bytes that no longer match their
+                    # CRC — a torn write or post-commit bitrot, caught
+                    # at the consumption point.
+                    self.integrity.record_detected(
+                        self.device.name,
+                        f"checkpoint slot {slot} failed CRC validation",
+                    )
+            records.append(record)
         live = [record for record in records if record is not None]
         if not live:
             return None
@@ -233,8 +253,10 @@ class CheckpointManager:
             return fallback
         self.restores += 1
         self.obs.count("checkpoint.restores")
-        now = self.device.simulator.now
         record = self.restore()
+        # After restore(): slot verification may have advanced the
+        # clock, and the restore decision is logged at decision time.
+        now = self.device.simulator.now
         if record is None or record.line_index != line_index:
             self.restarts += 1
             self.obs.count("checkpoint.restarts")
@@ -266,4 +288,5 @@ class CheckpointManager:
             "fallbacks": self.fallbacks,
             "restarts": self.restarts,
             "torn_writes": self.area.torn_writes,
+            "bitrot_events": self.area.bitrot_events,
         }

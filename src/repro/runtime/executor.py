@@ -27,6 +27,7 @@ from ..analysis.timeline import ExecutionTimeline
 from ..errors import CseCrashError, FaultError, MigrationError, ProgramError
 from ..faults import FaultEvent, FaultLog
 from ..hw.topology import Machine
+from ..integrity import CLEAN_DIGEST, IntegrityChecker
 from ..lang.program import Program, Statement
 from .checkpoint import CheckpointManager
 from .codegen import CompiledProgram
@@ -80,6 +81,13 @@ class ExecutionResult:
     #: Line-boundary checkpoint counters (saves/restores/fallbacks/
     #: restarts/torn_writes) from the :class:`CheckpointManager`.
     checkpoint_stats: Dict[str, int] = field(default_factory=dict)
+    #: Content signature of the reported output: :data:`CLEAN_DIGEST`
+    #: unless silently corrupted bytes survived into the result (the
+    #: chaos harness compares this against the fault-free baseline).
+    output_digest: str = CLEAN_DIGEST
+    #: Integrity-layer counters (detected/missed/verified_bytes/...)
+    #: from the :class:`~repro.integrity.IntegrityChecker`.
+    integrity_stats: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def migrated(self) -> bool:
@@ -104,6 +112,7 @@ class ExecutionResult:
             "status_updates": self.status_updates,
             "d2h_bytes": self.d2h_bytes,
             "remote_access_bytes": self.remote_access_bytes,
+            "output_digest": self.output_digest,
         }
 
     def to_jsonable(self) -> Dict[str, Any]:
@@ -117,6 +126,7 @@ class ExecutionResult:
             str(index): count for index, count in sorted(self.chunks_executed.items())
         }
         payload["checkpoint_stats"] = dict(self.checkpoint_stats)
+        payload["integrity_stats"] = dict(self.integrity_stats)
         return payload
 
 
@@ -149,6 +159,12 @@ class PlanExecutor:
         )
         self.timeline = timeline
         self.obs = machine.obs
+        self.integrity = IntegrityChecker(
+            config=machine.config,
+            clock=machine.simulator.clock,
+            fault_log=self.fault_log,
+            obs=self.obs,
+        )
         self.chunk_replays = 0
         self._chunk_ledger: Dict[int, int] = {}
 
@@ -229,7 +245,10 @@ class PlanExecutor:
                     input_remote = True
                 else:
                     transfer_start = machine.now
-                    self._move(machine.d2h_link, d_in, multiplier)
+                    self._verified_move(
+                        machine.d2h_link, d_in, multiplier,
+                        key=f"input.line{index}",
+                    )
                     self._trace(transfer_start, "d2h", "transfer",
                                 f"{statement.name}.input")
 
@@ -282,7 +301,8 @@ class PlanExecutor:
                     fault: Optional[FaultError] = None
                     try:
                         self._run_chunk_on_csd(
-                            statement, instr_total, storage_total, chunks, multiplier
+                            index, statement, chunk,
+                            instr_total, storage_total, chunks, multiplier,
                         )
                     except FaultError as exc:
                         fault = exc
@@ -464,8 +484,13 @@ class PlanExecutor:
         # The program's final value must reach the host.
         last = program[len(program) - 1]
         if value_location == CSD:
+            # BAR readback of the result: the last place a garbled
+            # transfer could still slip into the report.
             transfer_start = machine.now
-            self._move(machine.d2h_link, last.output_bytes(n), multiplier)
+            self._verified_move(
+                machine.d2h_link, last.output_bytes(n), multiplier,
+                key="final.output",
+            )
             self._trace(transfer_start, "d2h", "transfer", "final.output")
 
         finished = machine.now
@@ -488,6 +513,8 @@ class PlanExecutor:
             chunk_replays=self.chunk_replays,
             chunks_executed=dict(self._chunk_ledger),
             checkpoint_stats=self.checkpoints.stats(),
+            output_digest=self.integrity.digest(),
+            integrity_stats=self.integrity.stats(),
         )
 
     # --- chunk mechanics ----------------------------------------------------
@@ -506,12 +533,84 @@ class PlanExecutor:
                 elapsed * (multiplier - 1.0), component=link.component
             )
 
-    def _chunk(self, unit, moves, instructions: float, multiplier: float) -> None:
+    def _verified_move(self, link, nbytes: float, multiplier: float, key: str) -> None:
+        """A value transfer followed by the consumer-side digest check.
+
+        Used for the standalone payload moves (shipping a line's input,
+        the final BAR readback of the result) where recovery is an
+        inline retransmit rather than a chunk replay.
+        """
+        self._move(link, nbytes, multiplier)
+        self._ingest(
+            [(link, nbytes)], multiplier,
+            tainted=False, key=key, target=link.name, raise_on_detect=False,
+        )
+
+    def _ingest(
+        self,
+        moves,
+        multiplier: float,
+        tainted: bool,
+        key: Optional[str],
+        target: str,
+        raise_on_detect: bool,
+    ) -> None:
+        """Consumer-side integrity handling for freshly ingested bytes.
+
+        Consumes any armed in-flight corruption on the traversed links
+        (the bits flip whether or not anyone checks), charges the
+        simulated verify cost when the layer is enabled, and on a
+        detected mismatch either raises :class:`IntegrityError` (device
+        chunks — the caller's replay machinery recovers) or re-reads
+        the garbled payloads inline (host-side transfers).  With the
+        layer disabled this touches neither the clock nor any metric.
+        """
+        integ = self.integrity
+        dirty = [
+            (link, nbytes)
+            for link, nbytes in moves
+            if nbytes > 0 and link.consume_transfer_corruption()
+        ]
+        tainted = tainted or bool(dirty)
+        if integ.enabled:
+            integ.charge_verify(
+                sum(nbytes for _, nbytes in moves if nbytes > 0)
+            )
+            if tainted and integ.verify:
+                if raise_on_detect:
+                    integ.raise_mismatch(target, f"{key}: content digest mismatch")
+                while dirty:
+                    integ.record_detected(
+                        target, f"{key}: payload digest mismatch; re-reading"
+                    )
+                    redo, dirty = dirty, []
+                    for link, nbytes in redo:
+                        self._move(link, nbytes, multiplier)
+                        integ.charge_verify(nbytes)
+                        if link.consume_transfer_corruption():
+                            dirty.append((link, nbytes))
+                tainted = False
+        if key is not None:
+            integ.record_unit(key, tainted)
+
+    def _chunk(
+        self,
+        unit,
+        moves,
+        instructions: float,
+        multiplier: float,
+        key: Optional[str] = None,
+        tainted: bool = False,
+        raise_on_detect: bool = False,
+    ) -> None:
         """One chunk of data movement + compute on ``unit``.
 
         ``moves`` is a list of (link, nbytes) pairs.  Sequential by
         default; with ``config.overlap_io_compute`` the chunk costs
-        max(io, compute), modelling a double-buffered engine.
+        max(io, compute), modelling a double-buffered engine.  ``key``
+        names the logical unit in the integrity taint ledger;
+        ``tainted`` carries producer-side corruption already consumed
+        by the caller (a silently corrupted NAND stream).
         """
         machine = self.machine
         chunk_started = machine.now
@@ -521,6 +620,11 @@ class PlanExecutor:
                     self._move(link, nbytes, multiplier)
             unit.execute(instructions)
             self._record_chunk(unit, chunk_started)
+            self._ingest(
+                moves, multiplier,
+                tainted=tainted, key=key, target=unit.name,
+                raise_on_detect=raise_on_detect,
+            )
             return
         io_seconds = sum(
             link.transfer_time(nbytes) * multiplier
@@ -541,6 +645,11 @@ class PlanExecutor:
                 link.account(nbytes)
         unit.charge(instructions, elapsed)
         self._record_chunk(unit, chunk_started)
+        self._ingest(
+            moves, multiplier,
+            tainted=tainted, key=key, target=unit.name,
+            raise_on_detect=raise_on_detect,
+        )
 
     def _record_chunk(self, unit, chunk_started: float) -> None:
         if self.obs.enabled:
@@ -552,12 +661,15 @@ class PlanExecutor:
 
     def _run_chunk_on_csd(
         self,
+        line_index: int,
         statement: Statement,
+        chunk: int,
         instr_total: float,
         storage_total: float,
         chunks: int,
         multiplier: float,
     ) -> None:
+        tainted = False
         if storage_total > 0:
             # The chunk's streamed NAND access may hit an armed media
             # fault: ECC re-reads cost time here, an uncorrectable
@@ -569,11 +681,18 @@ class PlanExecutor:
                     "ecc-corrected",
                     f"{statement.name}: {extra:.6f}s of ECC re-reads",
                 )
+            # A silently corrupted stream costs nothing and raises
+            # nothing here: the flipped bits ride into the chunk and
+            # only the end-of-chunk digest check can notice.
+            tainted = self.device.flash.consume_silent_corruption()
         self._chunk(
             self.device.cse,
             [(self.device.internal_link, storage_total / chunks)],
             instr_total / chunks,
             multiplier,
+            key=f"line{line_index}.chunk{chunk}",
+            tainted=tainted,
+            raise_on_detect=True,
         )
 
     def _run_line_on_host(
@@ -588,11 +707,14 @@ class PlanExecutor:
     ) -> None:
         machine = self.machine
         chunks = statement.chunks
-        for _ in range(chunks):
+        for chunk in range(chunks):
             moves = [(machine.host_storage_link, storage_total / chunks)]
             if input_remote:
                 moves.append((machine.remote_access_link, d_in / chunks))
-            self._chunk(machine.host, moves, instr_total / chunks, multiplier)
+            self._chunk(
+                machine.host, moves, instr_total / chunks, multiplier,
+                key=f"line{line_index}.chunk{chunk}",
+            )
             self._chunk_ledger[line_index] += 1
             machine.simulator.fire_due_events()
 
@@ -610,11 +732,14 @@ class PlanExecutor:
     ) -> None:
         """Run chunks ``first_chunk..chunks`` on the host post-migration."""
         machine = self.machine
-        for _ in range(first_chunk, chunks):
+        for chunk in range(first_chunk, chunks):
             moves = [(machine.host_storage_link, storage_total / chunks)]
             if input_on_device:
                 moves.append((machine.remote_access_link, d_in / chunks))
-            self._chunk(machine.host, moves, instr_total / chunks, multiplier)
+            self._chunk(
+                machine.host, moves, instr_total / chunks, multiplier,
+                key=f"line{line_index}.chunk{chunk}",
+            )
             self._chunk_ledger[line_index] += 1
             machine.simulator.fire_due_events()
 

@@ -60,10 +60,15 @@ def migration_cost_estimate(
     """
     if remaining_host_compute_s < 0 or remaining_storage_bytes < 0 or live_input_bytes < 0:
         raise MigrationError("remaining-work estimates must be non-negative")
+    verify_s = 0.0
+    if config.integrity_enabled:
+        # The host digest-checks the locals it reads back (repro.integrity).
+        verify_s = _LOCALS_BYTES / config.integrity_verify_bandwidth
     return (
         config.compile_overhead_s
         + config.migration_state_cost_s
         + _LOCALS_BYTES / config.bw_d2h
+        + verify_s
         + remaining_host_compute_s
         + remaining_storage_bytes / config.bw_host_storage
         + live_input_bytes / config.bw_remote_access
@@ -97,6 +102,16 @@ def perform_migration(
         config.migration_state_cost_s, component="migration"
     )
     machine.d2h_link.transfer(_LOCALS_BYTES)
+    if config.integrity_enabled:
+        # Digest-check the checkpointed locals the host just read back.
+        machine.simulator.clock.advance(
+            _LOCALS_BYTES / config.integrity_verify_bandwidth,
+            component="integrity",
+        )
+        if machine.obs.enabled:
+            machine.obs.metrics.counter("integrity.verified_bytes").inc(
+                _LOCALS_BYTES
+            )
     cost = machine.simulator.now - start
     if machine.obs.enabled:
         machine.obs.metrics.counter("migration.count").inc()

@@ -21,6 +21,15 @@ CHECKPOINT_SLOT_BYTES = 4096
 #: the DMA scribble a power event leaves behind.
 _TORN_SCRAMBLE = 0xA5
 
+#: Pattern XOR-ed over the tail of a *committed* record by silent
+#: bitrot — retention loss in device DRAM, after the CRC was written.
+_BITROT_SCRAMBLE = 0x3C
+
+#: Bytes at the end of a record image the bitrot flips: enough to cover
+#: the cursor and the stored CRC, so a rotted record decodes (the header
+#: is intact) but carries a garbage resume point.
+_BITROT_TAIL_BYTES = 12
+
 
 class CheckpointArea:
     """Two checkpoint slots in device DRAM, reachable through the BAR.
@@ -51,6 +60,7 @@ class CheckpointArea:
         self.writes = 0
         self.torn_writes = 0
         self._torn_armed = 0
+        self.bitrot_events = 0
 
     # --- fault injection ---------------------------------------------------
 
@@ -63,6 +73,34 @@ class CheckpointArea:
     @property
     def torn_write_armed(self) -> bool:
         return self._torn_armed > 0
+
+    def rot_committed(self, count: int = 1) -> int:
+        """Decay up to ``count`` committed records, newest first.
+
+        Models retention loss in device DRAM: the record was written
+        cleanly — CRC and all — and the bits flipped *afterwards*.  The
+        tail (cursor + stored CRC) is scrambled, so CRC validation on
+        the read side rejects the record; a runtime configured to skip
+        validation trusts the garbage cursor verbatim.  Returns how
+        many records actually decayed (0 when the area is empty).
+        """
+        if count < 1:
+            raise StorageError(f"bitrot count must be >= 1, got {count}")
+        newest = (self.next_generation - 1) % 2
+        rotted = 0
+        for slot in (newest, 1 - newest):
+            if rotted >= count:
+                break
+            blob = self._slots[slot]
+            if not blob:
+                continue
+            keep = max(0, len(blob) - _BITROT_TAIL_BYTES)
+            self._slots[slot] = blob[:keep] + bytes(
+                b ^ _BITROT_SCRAMBLE for b in blob[keep:]
+            )
+            self.bitrot_events += 1
+            rotted += 1
+        return rotted
 
     # --- slot access --------------------------------------------------------
 

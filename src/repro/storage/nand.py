@@ -134,6 +134,13 @@ class FlashArray:
         self._fault_persistent = False
         self.ecc_corrected_reads = 0
         self.uncorrectable_reads = 0
+        # Armed silent corruptions: reads that return flipped bits with
+        # no error completion.  Tracked separately from the loud read
+        # faults — they cost nothing and raise nothing here; only the
+        # end-to-end integrity layer can notice the damage.
+        self._silent_count = 0
+        self._silent_persistent = False
+        self.silent_corrupted_reads = 0
 
     # --- fault injection hooks -------------------------------------------
 
@@ -166,6 +173,39 @@ class FlashArray:
         """Disarm any pending read fault (recovery hook)."""
         self._fault_count = 0
         self._fault_persistent = False
+
+    def arm_silent_corruption(self, count: int = 1, persistent: bool = False) -> None:
+        """Arm the next ``count`` reads to return silently flipped bits.
+
+        Unlike :meth:`arm_read_fault` nothing errors and nothing slows
+        down — the read completes normally with wrong data.  A
+        *persistent* corruption is not consumed: every re-read of the
+        damaged page keeps returning garbage until
+        :meth:`clear_silent_corruption` (the executor's host fallback
+        then reads the host-side replica instead).
+        """
+        if count < 1:
+            raise FlashError(f"count must be at least 1, got {count}")
+        self._silent_count += count
+        self._silent_persistent = persistent
+
+    def clear_silent_corruption(self) -> None:
+        """Disarm any pending silent corruption (recovery hook)."""
+        self._silent_count = 0
+        self._silent_persistent = False
+
+    def consume_silent_corruption(self) -> bool:
+        """True when the current read streams silently corrupted bits.
+
+        Charges nothing and raises nothing — that is the point.  The
+        armed count decrements unless the corruption is persistent.
+        """
+        if self._silent_count <= 0:
+            return False
+        if not self._silent_persistent:
+            self._silent_count -= 1
+        self.silent_corrupted_reads += 1
+        return True
 
     @property
     def has_persistent_fault(self) -> bool:

@@ -11,8 +11,12 @@ from __future__ import annotations
 
 import pytest
 
+import dataclasses
+
 from repro.chaos import ChaosHarness, check_invariants
+from repro.config import DEFAULT_CONFIG
 from repro.faults import FaultKind, FaultPlan
+from repro.faults.spec import SILENT_KINDS
 from repro.workloads import get_workload, workload_names
 
 #: Tiny inputs: a full (workload x kind) sweep stays in seconds.
@@ -20,9 +24,22 @@ SCALE = 2 ** -7
 
 _HARNESS = ChaosHarness(scale=SCALE, fault_count=1)
 
+#: Silent-corruption kinds are only survivable with the integrity layer
+#: on — that pairing is the product contract (chaos --sdc enables both).
+_INTEGRITY_HARNESS = ChaosHarness(
+    system_config=dataclasses.replace(DEFAULT_CONFIG, integrity_enabled=True),
+    scale=SCALE,
+    fault_count=1,
+)
+
+
+def _harness_for(kind: FaultKind) -> ChaosHarness:
+    return _INTEGRITY_HARNESS if kind in SILENT_KINDS else _HARNESS
+
 
 def _single_fault_plan(workload_name: str, kind: FaultKind, seed: int) -> FaultPlan:
-    baseline = _HARNESS.baseline(workload_name)
+    harness = _harness_for(kind)
+    baseline = harness.baseline(workload_name)
     offset = 0.8 * baseline.overhead_seconds
     return FaultPlan.random(
         seed=seed,
@@ -37,7 +54,7 @@ def _single_fault_plan(workload_name: str, kind: FaultKind, seed: int) -> FaultP
 @pytest.mark.parametrize("workload_name", workload_names())
 def test_single_fault_never_escapes(workload_name, kind):
     plan = _single_fault_plan(workload_name, kind, seed=1234)
-    outcome = _HARNESS.run_plan(workload_name, plan)
+    outcome = _harness_for(kind).run_plan(workload_name, plan)
     # run_plan converts an unhandled exception into a violation; any
     # violation here is a bug in the fault-tolerant runtime
     assert outcome.ok, "; ".join(v.render() for v in outcome.violations)

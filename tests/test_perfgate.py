@@ -115,13 +115,13 @@ class TestSnapshotCheckRoundTrip:
             },
         }), encoding="utf-8")
         report = check(tmp_path, baselines_dir=baselines)
-        # slowdown improved 1.5 -> 1.3: the gate stays silent; the other
-        # two benches have no committed baselines and are reported.
+        # slowdown improved 1.5 -> 1.3: the gate stays silent; every
+        # other bench has no committed baseline and is reported.
         assert not report.deviations
-        assert sorted(report.missing_results) == [
-            "checkpoint (no committed baseline)", "obs (no committed baseline)",
-            "wall (no committed baseline)",
-        ]
+        assert sorted(report.missing_results) == sorted(
+            f"{bench} (no committed baseline)"
+            for bench in GATED_METRICS if bench != "faults"
+        )
 
     def test_within_tolerance_drift_passes(self, tmp_path):
         _full_results(tmp_path, value=1.0)

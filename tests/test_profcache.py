@@ -2,13 +2,17 @@
 
 import dataclasses
 import json
+import multiprocessing
+from pathlib import Path
 
 import pytest
 
 from repro.config import DEFAULT_CONFIG
 from repro.obs import Observability
 from repro.runtime.activepy import ActivePy, RunOptions
+from repro.runtime.fitting import ComplexityCurve, FittedCurve
 from repro.runtime.profcache import ProfileCache, default_cache
+from repro.runtime.sampling import LineFits, SampleSeries, SamplingReport
 from repro.workloads import get_workload
 
 from .conftest import make_toy_dataset, make_toy_program
@@ -190,6 +194,83 @@ class TestCorruption:
         with pytest.warns(RuntimeWarning):
             report = ActivePy(profile_cache=cache).run(program, dataset)
         assert report.sampling_cache_status == "miss"
+
+
+def _variant_report(variant: int) -> SamplingReport:
+    """A small valid report whose contents identify the writer."""
+    marker = float(variant)
+    curve = FittedCurve(
+        curve=ComplexityCurve.N, coefficient=marker, intercept=0.0,
+        relative_residual=0.01,
+    )
+    return SamplingReport(
+        series=[SampleSeries(
+            index=0, name="scan",
+            n_values=[10, 20, 40, 80],
+            compute_seconds=[marker, marker * 2, marker * 4, marker * 8],
+            data_access_seconds=[0.1, 0.2, 0.4, 0.8],
+            input_bytes=[640.0, 1280.0, 2560.0, 5120.0],
+            output_bytes=[40.0, 80.0, 160.0, 320.0],
+            storage_bytes=[640.0, 1280.0, 2560.0, 5120.0],
+        )],
+        fits=[LineFits(index=0, name="scan", compute=curve,
+                       data_access=curve, output_bytes=curve,
+                       storage_bytes=curve)],
+        sampling_seconds=marker,
+        factors=(2 ** -10, 2 ** -9, 2 ** -8, 2 ** -7),
+    )
+
+
+def _race_writer(root: str, key: str, variant: int, iterations: int) -> None:
+    cache = ProfileCache(Path(root))
+    report = _variant_report(variant)
+    for _ in range(iterations):
+        assert cache.put(key, report)
+
+
+class TestConcurrentWriters:
+    def test_racing_writers_never_produce_a_torn_entry(self, tmp_path):
+        """Two processes hammering one key: readers see whole entries only.
+
+        ``put`` goes through tempfile + ``os.replace``, so an entry on
+        disk is always some writer's complete bytes — a reader must
+        never see a blend of the two variants or a checksum rejection.
+        """
+        root = tmp_path / "cache"
+        key = "f" * 64
+        iterations = 200
+        workers = [
+            multiprocessing.Process(
+                target=_race_writer, args=(str(root), key, variant, iterations)
+            )
+            for variant in (1, 2)
+        ]
+        for worker in workers:
+            worker.start()
+        reader = ProfileCache(root)
+        observed = set()
+        try:
+            while any(worker.is_alive() for worker in workers):
+                report = reader.get(key)
+                if report is not None:
+                    assert report.sampling_seconds in (1.0, 2.0)
+                    # A torn/blended entry would decouple the marker
+                    # fields that are written consistently together.
+                    assert (report.fits[0].compute.coefficient
+                            == report.sampling_seconds)
+                    assert (report.series[0].compute_seconds[0]
+                            == report.sampling_seconds)
+                    observed.add(report.sampling_seconds)
+        finally:
+            for worker in workers:
+                worker.join()
+        for worker in workers:
+            assert worker.exitcode == 0
+        # Atomic replace means no read ever hit the invalidation path.
+        assert reader.stats()["invalidations"] == 0
+        final = reader.get(key)
+        assert final is not None and final.sampling_seconds in (1.0, 2.0)
+        assert observed, "reader never saw a committed entry mid-race"
 
 
 class TestBitIdenticalRotation:
