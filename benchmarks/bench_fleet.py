@@ -1,0 +1,122 @@
+"""Rack-scale fleet serving: scale-out throughput and failover cost.
+
+Two deterministic claims about the fleet scheduler:
+
+* **Near-linear scale-out.**  The same saturating open-loop traffic
+  served by four CSDs finishes at >= 3x the jobs/s of one CSD — the
+  multi-device speedup the in-storage processing story rests on.  The
+  gated metric is the makespan *fraction* (four-device over
+  one-device), so a scheduler regression that erodes the speedup fails
+  the perf gate even though both absolute makespans are "max"-gated.
+* **Failover is bounded, not free.**  Losing a busy device mid-job
+  stretches the makespan (the interrupted job replays from its last
+  checkpoint on a survivor, behind a backoff) but every admitted job
+  still terminates and nothing is shed.  The stretched makespan is
+  gated so recovery cost cannot silently grow.
+
+Simulated seconds only: both claims replay exactly on any host.
+"""
+
+from repro.config import DEFAULT_CONFIG
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+from repro.fleet import Fleet, FleetConfig, ProfileStore, TenantSpec
+
+from .conftest import run_once, write_bench_json
+
+_SCALE = 2 ** -6
+_JOBS = 24
+
+#: One shared store: each distinct inner ActivePy run is paid for once
+#: across every fleet in this module.
+_STORE = ProfileStore(system_config=DEFAULT_CONFIG, scale=_SCALE)
+
+
+def _tenant(rate=60.0):
+    # A single saturating tenant: admission wide open so the devices,
+    # not the front door, are the bottleneck.
+    return TenantSpec(name="t", rate_jobs_per_s=rate, admission_rate=1000.0,
+                      admission_burst=256, queue_limit=1024)
+
+
+def _config(device_count, plan=FaultPlan(), seed=0):
+    return FleetConfig(
+        device_count=device_count,
+        tenants=(_tenant(),),
+        job_count=_JOBS,
+        seed=seed,
+        scale=_SCALE,
+        overload_watermark=1000,
+        plan=plan,
+    )
+
+
+def test_scale_out_throughput(benchmark):
+    one = Fleet(_config(1), profiles=_STORE).run()
+    four = run_once(
+        benchmark, lambda: Fleet(_config(4), profiles=_STORE).run()
+    )
+
+    speedup = four.throughput_jobs_per_s / one.throughput_jobs_per_s
+    fraction = four.makespan_s / one.makespan_s
+    print("\n\nscale-out: identical saturating traffic, 1 vs 4 CSDs")
+    print(f"1 device : {one.makespan_s:.6f} s "
+          f"({one.throughput_jobs_per_s:.2f} jobs/s)")
+    print(f"4 devices: {four.makespan_s:.6f} s "
+          f"({four.throughput_jobs_per_s:.2f} jobs/s)  "
+          f"speedup {speedup:.2f}x")
+
+    write_bench_json("fleet", {
+        "scale_out": {
+            "job_count": _JOBS,
+            "one_device_makespan_s": one.makespan_s,
+            "four_device_makespan_s": four.makespan_s,
+            "one_device_jobs_per_s": one.throughput_jobs_per_s,
+            "four_device_jobs_per_s": four.throughput_jobs_per_s,
+            "speedup": speedup,
+            "fraction_of_one_device": fraction,
+        },
+    }, meta={"scale": _SCALE, "seed": 0})
+
+    assert one.shed == 0 and four.shed == 0
+    # The tentpole claim: near-linear multi-CSD scaling.
+    assert speedup >= 3.0
+
+
+def test_failover_penalty_is_bounded(benchmark):
+    clean = Fleet(_config(4), profiles=_STORE).run()
+    # Aim the loss at the midpoint of a dispatched job so the device is
+    # guaranteed busy when it dies.
+    victim = clean.outcomes[0]
+    midpoint = (victim.first_dispatch_time + victim.finish_time) / 2.0
+    plan = FaultPlan(specs=(FaultSpec(
+        kind=FaultKind.DEVICE_LOST_MID_JOB,
+        at_time=midpoint,
+        target=victim.device,
+    ),))
+    lossy = run_once(
+        benchmark, lambda: Fleet(_config(4, plan=plan), profiles=_STORE).run()
+    )
+
+    penalty = lossy.makespan_s - clean.makespan_s
+    print("\n\ndevice loss mid-job on a 4-CSD fleet")
+    print(f"fault-free : {clean.makespan_s:.6f} s")
+    print(f"device lost: {lossy.makespan_s:.6f} s (+{penalty:.6f} s, "
+          f"{lossy.degraded} degraded, {lossy.shed} shed)")
+
+    write_bench_json("fleet", {
+        "failover": {
+            "clean_makespan_s": clean.makespan_s,
+            "loss_makespan_s": lossy.makespan_s,
+            "penalty_s": penalty,
+            "degraded": lossy.degraded,
+            "shed": lossy.shed,
+        },
+    }, meta={"scale": _SCALE, "seed": 0})
+
+    # Every admitted job terminates; the loss degrades, never drops.
+    assert lossy.completed + lossy.degraded == _JOBS
+    assert lossy.shed == 0
+    assert lossy.degraded >= 1
+    # Recovery replays work behind a backoff: strictly slower than the
+    # fault-free fleet, never faster.
+    assert lossy.makespan_s > clean.makespan_s

@@ -38,17 +38,21 @@ from .chaos import (
 )
 from .config import DEFAULT_CONFIG, SystemConfig
 from .errors import (
+    AdmissionError,
     ChaosError,
     DeadlineError,
     DeviceLostError,
     FaultError,
+    FleetError,
     IntegrityError,
     ObservabilityError,
     ReproError,
+    TenantIsolationError,
     UncorrectableMediaError,
 )
 from .faults import (
     FAULT_KIND_INFO,
+    FLEET_KINDS,
     LOUD_KINDS,
     SILENT_KINDS,
     FaultEvent,
@@ -57,6 +61,20 @@ from .faults import (
     FaultLog,
     FaultPlan,
     FaultSpec,
+)
+from .fleet import (
+    Fleet,
+    FleetCampaignConfig,
+    FleetCampaignResult,
+    FleetConfig,
+    FleetReport,
+    JobArrival,
+    JobOutcome,
+    SloSnapshot,
+    TenantSpec,
+    TrafficGenerator,
+    default_tenants,
+    run_fleet_campaign,
 )
 from .frontend import program_from_function
 from .hw.topology import Machine, build_machine
@@ -97,6 +115,7 @@ from .workloads import Workload, all_workloads, get_workload, workload_names
 __all__ = [
     "ActivePy",
     "ActivePyReport",
+    "AdmissionError",
     "AttributionReport",
     "CLEAN_DIGEST",
     "CampaignConfig",
@@ -114,6 +133,7 @@ __all__ = [
     "ExecutionResult",
     "ExecutionTimeline",
     "FAULT_KIND_INFO",
+    "FLEET_KINDS",
     "FaultError",
     "FaultEvent",
     "FaultInjector",
@@ -121,12 +141,20 @@ __all__ = [
     "FaultLog",
     "FaultPlan",
     "FaultSpec",
+    "Fleet",
+    "FleetCampaignConfig",
+    "FleetCampaignResult",
+    "FleetConfig",
+    "FleetError",
+    "FleetReport",
     "GateReport",
     "GatedMetric",
     "Gauge",
     "Histogram",
     "IntegrityChecker",
     "IntegrityError",
+    "JobArrival",
+    "JobOutcome",
     "LOUD_KINDS",
     "LineExplanation",
     "Machine",
@@ -143,13 +171,17 @@ __all__ = [
     "ReproError",
     "RunOptions",
     "SILENT_KINDS",
+    "SloSnapshot",
     "Span",
     "Statement",
     "StaticIspBaseline",
     "SystemConfig",
+    "TenantIsolationError",
+    "TenantSpec",
     "TimeAttributor",
     "TimelineSpan",
     "Tracer",
+    "TrafficGenerator",
     "UncorrectableMediaError",
     "Workload",
     "__version__",
@@ -161,6 +193,7 @@ __all__ = [
     "build_machine",
     "dataset_of",
     "default_cache",
+    "default_tenants",
     "dump",
     "dumps",
     "explain_plan",
@@ -173,6 +206,7 @@ __all__ = [
     "run_campaign",
     "run_campaign_parallel",
     "run_cython_baseline",
+    "run_fleet_campaign",
     "run_plan",
     "run_python_baseline",
     "to_chrome_trace",

@@ -13,6 +13,8 @@
     python -m repro chaos --workers 4          # ... across worker processes
     python -m repro chaos --sdc                # ... with silent-corruption faults
     python -m repro chaos --workload W --seed S  # replay one seeded run
+    python -m repro chaos --fleet [--runs N]   # rack-scale fleet fault campaign
+    python -m repro fleet run [--devices N]    # one seeded fleet run
     python -m repro faults list                # catalogue of injectable faults
     python -m repro explain run tpch_q6        # plan vs. reality + critical path
     python -m repro bench                      # wall-clock perf-layer benchmark
@@ -232,6 +234,79 @@ def _cmd_prediction(args) -> int:
     return _print_and_maybe_export(result, text, args.json)
 
 
+def _cmd_chaos_fleet(args) -> int:
+    from .fleet import FleetCampaignConfig, default_tenants, run_fleet_campaign
+
+    if args.workload is not None:
+        print("repro chaos: error: --fleet and --workload are mutually "
+              "exclusive (replay a fleet seed with --fleet --runs 1 --seed S)",
+              file=sys.stderr)
+        return 2
+    if args.sdc or args.no_validate or args.no_verify:
+        print("repro chaos: error: --sdc/--no-validate/--no-verify are "
+              "single-machine campaign knobs; the fleet campaign's planted "
+              "bug is --no-isolation", file=sys.stderr)
+        return 2
+    if args.devices < 1 or args.tenants < 1 or args.jobs < 1:
+        print("repro chaos: error: --devices, --tenants and --jobs must all "
+              "be at least 1", file=sys.stderr)
+        return 2
+    config = FleetCampaignConfig(
+        runs=args.runs,
+        device_count=args.devices,
+        tenants=default_tenants(args.tenants),
+        job_count=args.jobs,
+        base_seed=args.seed,
+        fault_count=args.fault_count,
+        scale=args.scale,
+        no_isolation=args.no_isolation,
+    )
+
+    def progress(outcome):
+        mark = "ok" if outcome.ok else "VIOLATION"
+        print(f"  run {outcome.seed - config.base_seed:>4} seed={outcome.seed:<6} "
+              f"completed={outcome.completed:<3} degraded={outcome.degraded:<3} "
+              f"shed={outcome.shed:<3} {mark}")
+
+    result = run_fleet_campaign(
+        config, on_outcome=progress if args.verbose else None,
+    )
+    print(result.render())
+    if args.json:
+        export.dump(result, args.json)
+        print(f"wrote {args.json}")
+    return 0 if result.ok else 1
+
+
+def _cmd_fleet_run(args) -> int:
+    from .faults.spec import FaultKind, FaultPlan, FaultSpec
+    from .fleet import Fleet, FleetConfig, default_tenants
+
+    specs = []
+    if args.lose_device is not None:
+        specs.append(FaultSpec(
+            kind=FaultKind.DEVICE_LOST_MID_JOB,
+            at_time=args.lose_at,
+            target=args.lose_device,
+            duration_s=args.rejoin_after,
+        ))
+    config = FleetConfig(
+        device_count=args.devices,
+        tenants=default_tenants(args.tenants),
+        job_count=args.jobs,
+        seed=args.seed,
+        target_load=args.target_load,
+        scale=args.scale,
+        plan=FaultPlan(specs=tuple(specs), seed=args.seed),
+    )
+    report = Fleet(config).run()
+    print(report.render())
+    if args.json:
+        export.dump(report, args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     import dataclasses
 
@@ -240,6 +315,12 @@ def _cmd_chaos(args) -> int:
     from .chaos.shrink import render_plan
     from .config import DEFAULT_CONFIG
 
+    if args.fleet:
+        if args.runs < 1 or args.fault_count < 1:
+            print("repro chaos: error: --runs and --fault-count must be at "
+                  "least 1", file=sys.stderr)
+            return 2
+        return _cmd_chaos_fleet(args)
     if args.runs < 1:
         print(f"repro chaos: error: --runs must be at least 1, got {args.runs}",
               file=sys.stderr)
@@ -327,18 +408,24 @@ def _cmd_chaos(args) -> int:
 
 
 def _cmd_faults_list(args) -> int:
-    from .faults.spec import FAULT_KIND_INFO, SILENT_KINDS, FaultKind
+    from .faults.spec import FAULT_KIND_INFO, FLEET_KINDS, SILENT_KINDS, FaultKind
 
     rows = []
     for kind in FaultKind:
         description, target = FAULT_KIND_INFO[kind]
-        silent = "silent" if kind in SILENT_KINDS else "loud"
-        rows.append([kind.value, silent, target, description])
+        if kind in SILENT_KINDS:
+            klass = "silent"
+        elif kind in FLEET_KINDS:
+            klass = "fleet"
+        else:
+            klass = "loud"
+        rows.append([kind.value, klass, target, description])
     print(format_table(["kind", "class", "default target", "description"], rows))
     print()
     print("loud faults fail operations the runtime can see; silent faults "
           "corrupt data\nin flight and are only caught by the integrity "
-          "layer (chaos --sdc).")
+          "layer (chaos --sdc); fleet faults\nland on the rack scheduler "
+          "(chaos --fleet), never on one machine's injector.")
     return 0
 
 
@@ -595,10 +682,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the campaign across N worker processes (same outcomes "
              "as serial, just faster; default: 1)",
     )
+    chaos_parser.add_argument(
+        "--fleet", action="store_true",
+        help="run the campaign at rack scale: seeded fleets of --devices "
+             "machines serving --tenants tenants under fleet-level faults "
+             "(device loss, tenant fault storms)",
+    )
+    chaos_parser.add_argument(
+        "--devices", type=int, default=4, metavar="N",
+        help="fleet mode: simulated CSD machines in the rack (default: 4)",
+    )
+    chaos_parser.add_argument(
+        "--tenants", type=int, default=3, metavar="N",
+        help="fleet mode: tenants sharing the rack (default: 3)",
+    )
+    chaos_parser.add_argument(
+        "--jobs", type=int, default=24, metavar="N",
+        help="fleet mode: jobs per seeded run (default: 24)",
+    )
+    chaos_parser.add_argument(
+        "--no-isolation", action="store_true",
+        help="fleet mode: skip the per-job device scrub between tenants "
+             "(the planted bug the tenant-isolation invariant must catch)",
+    )
     chaos_parser.add_argument("--verbose", action="store_true",
                               help="print a line per campaign run")
     chaos_parser.add_argument("--json", metavar="PATH", default=None)
     chaos_parser.set_defaults(fn=_cmd_chaos)
+
+    fleet_parser = sub.add_parser(
+        "fleet", help="rack-scale fleet serving over simulated CSD machines"
+    )
+    fleet_sub = fleet_parser.add_subparsers(dest="fleet_command", required=True)
+    fleet_run = fleet_sub.add_parser(
+        "run",
+        help="run one seeded fleet: open-loop traffic through admission "
+             "control onto N devices, with per-tenant SLO percentiles",
+    )
+    fleet_run.add_argument("--devices", type=int, default=4, metavar="N")
+    fleet_run.add_argument("--tenants", type=int, default=3, metavar="N")
+    fleet_run.add_argument("--jobs", type=int, default=24, metavar="N")
+    fleet_run.add_argument("--seed", type=int, default=0)
+    fleet_run.add_argument(
+        "--target-load", type=float, default=0.7,
+        help="offered load as a fraction of fleet service capacity "
+             "(default: 0.7; push past 1.0 to watch graceful degradation)",
+    )
+    fleet_run.add_argument("--scale", type=float, default=2**-6)
+    fleet_run.add_argument(
+        "--lose-device", default=None, metavar="NAME",
+        help="inject one DEVICE_LOST_MID_JOB against this device "
+             "(csd, csd1, ...)",
+    )
+    fleet_run.add_argument(
+        "--lose-at", type=float, default=0.5, metavar="T",
+        help="simulated time of the injected device loss (default: 0.5)",
+    )
+    fleet_run.add_argument(
+        "--rejoin-after", type=float, default=0.0, metavar="S",
+        help="window after which the lost device rejoins (0 = never)",
+    )
+    fleet_run.add_argument("--json", metavar="PATH", default=None)
+    fleet_run.set_defaults(fn=_cmd_fleet_run)
 
     faults_parser = sub.add_parser(
         "faults", help="the deterministic fault-injection catalogue"

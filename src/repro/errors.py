@@ -112,5 +112,38 @@ class ChaosError(ReproError):
     """A chaos campaign or shrink request is malformed."""
 
 
+class FleetError(ReproError):
+    """A rack-scale fleet (:mod:`repro.fleet`) rule was violated.
+
+    Raised for malformed fleet configurations and for jobs the fleet
+    could not finish within policy — a retry budget exhausted after
+    repeated device losses, or a queue drained with no live device
+    left.  A job terminated this way is *shed with an error*: the
+    failure is typed and attached to its outcome, never silent.
+    """
+
+
+class AdmissionError(FleetError):
+    """The fleet front-end refused or shed a job, with a stated reason.
+
+    Per-tenant admission control (token-bucket rate limits, bounded
+    queues, overload shedding) rejects work instead of collapsing under
+    it.  Every rejection carries the policy that fired — rate-limited,
+    queue-full, or overload-shed — so a shed job's outcome names
+    exactly why it never ran.
+    """
+
+
+class TenantIsolationError(FleetError):
+    """A tenant's faults perturbed another tenant's results.
+
+    The fleet guarantees that faults injected into tenant A's jobs
+    never change the run signature of tenant B's jobs.  The chaos
+    harness checks this invariant after every fleet run; a violation
+    means fault state leaked across the tenant boundary (the planted
+    ``--no-isolation`` bug is exactly such a leak).
+    """
+
+
 class ObservabilityError(ReproError):
     """A metrics instrument or trace exporter was used incorrectly."""

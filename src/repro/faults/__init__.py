@@ -17,6 +17,7 @@ from .injector import FaultInjector
 from .log import FaultEvent, FaultLog
 from .spec import (
     FAULT_KIND_INFO,
+    FLEET_KINDS,
     LOUD_KINDS,
     SILENT_KINDS,
     FaultKind,
@@ -26,6 +27,7 @@ from .spec import (
 
 __all__ = [
     "FAULT_KIND_INFO",
+    "FLEET_KINDS",
     "FaultEvent",
     "FaultInjector",
     "FaultKind",

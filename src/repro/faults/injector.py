@@ -17,7 +17,7 @@ from typing import List, Optional
 from ..errors import FaultError
 from ..sim.engine import Event
 from .log import FaultLog
-from .spec import FaultKind, FaultPlan, FaultSpec
+from .spec import FLEET_KINDS, FaultKind, FaultPlan, FaultSpec
 
 #: Kinds not bound to the target device's firmware generation.  Link
 #: faults live on the interconnect, not in device state; bitrot lives
@@ -55,6 +55,13 @@ class FaultInjector:
         """
         if self._armed:
             raise FaultError("fault plan is already armed on this injector")
+        for spec in self.plan:
+            if spec.kind in FLEET_KINDS:
+                raise FaultError(
+                    f"{spec.kind.value} is a fleet-level fault; it is "
+                    f"interpreted by the repro.fleet scheduler and cannot "
+                    f"be armed on a single machine"
+                )
         self._armed = True
         for spec in self.plan.sorted_specs():
             generation = None

@@ -49,6 +49,17 @@ class FaultKind(str, enum.Enum):
     #: A committed checkpoint record decays in BAR memory *after* its
     #: CRC was written — bitrot, not a torn DMA.
     CHECKPOINT_SILENT_BITROT = "checkpoint-silent-bitrot"
+    #: Fleet-level: the machine named by ``target`` drops out of the
+    #: rack at ``at_time`` with jobs in flight; ``duration_s`` > 0 means
+    #: it rejoins after that window, 0 means it never comes back.  Only
+    #: the :mod:`repro.fleet` scheduler interprets this kind — arming it
+    #: on a single machine's injector is an error.
+    DEVICE_LOST_MID_JOB = "device-lost-mid-job"
+    #: Fleet-level: jobs of the tenant named by ``target`` dispatched
+    #: during the ``duration_s`` window run under a derived inner
+    #: :class:`FaultPlan` of ``count`` loud faults each — the per-tenant
+    #: blast the isolation invariant must confine to that tenant.
+    TENANT_FAULT_INJECTION = "tenant-fault-injection"
 
 
 #: Link-shaped targets understood by the injector (LINK_DEGRADE and
@@ -77,6 +88,16 @@ SILENT_KINDS = (
     FaultKind.NAND_SILENT_CORRUPTION,
     FaultKind.BAR_TRANSFER_CORRUPTION,
     FaultKind.CHECKPOINT_SILENT_BITROT,
+)
+
+#: Faults that land on the rack, not on one machine's hardware: the
+#: :mod:`repro.fleet` scheduler interprets them (device loss with
+#: failover, per-tenant fault storms).  Kept out of both LOUD_KINDS and
+#: SILENT_KINDS so every pre-existing campaign seed keeps producing
+#: byte-identical plans.
+FLEET_KINDS = (
+    FaultKind.DEVICE_LOST_MID_JOB,
+    FaultKind.TENANT_FAULT_INJECTION,
 )
 
 #: One-line description and default target per kind, for the
@@ -126,6 +147,14 @@ FAULT_KIND_INFO = {
     FaultKind.CHECKPOINT_SILENT_BITROT: (
         "a committed checkpoint record decays after its CRC was written",
         "csd",
+    ),
+    FaultKind.DEVICE_LOST_MID_JOB: (
+        "a fleet machine drops out mid-job; duration_s > 0 means it rejoins",
+        "fleet machine (csd|csd1|...)",
+    ),
+    FaultKind.TENANT_FAULT_INJECTION: (
+        "a tenant's jobs in the window each run under count inner faults",
+        "tenant",
     ),
 }
 
@@ -187,6 +216,10 @@ class FaultSpec:
             raise FaultError("NVME_QUEUE_STALL needs a positive duration_s")
         if self.kind is FaultKind.NVME_COMPLETION_DELAY and self.duration_s <= 0:
             raise FaultError("NVME_COMPLETION_DELAY needs a positive duration_s")
+        if self.kind is FaultKind.TENANT_FAULT_INJECTION and self.duration_s <= 0:
+            raise FaultError(
+                "TENANT_FAULT_INJECTION needs a positive duration_s window"
+            )
         if (
             self.kind is FaultKind.BAR_TRANSFER_CORRUPTION
             and self.target not in LINK_TARGETS

@@ -1,0 +1,188 @@
+"""Deterministic open-loop traffic for the fleet front-end.
+
+A :class:`TenantSpec` describes one tenant of the rack: how fast its
+users submit ActivePy jobs, which workloads they submit, how important
+the tenant is when the fleet has to shed load, and the admission policy
+knobs (token-bucket rate, queue bound) the front-end enforces for it.
+
+The :class:`TrafficGenerator` turns a tenant set plus a seed into a
+merged arrival schedule — an *open-loop* stream: arrivals do not wait
+for completions, exactly the "millions of users submitting kernels"
+regime where overload is possible and admission control earns its keep.
+Each tenant draws Poisson arrivals (exponential inter-arrival times)
+from a private :class:`random.Random`, so the same ``(tenants, seed)``
+always yields a byte-identical schedule regardless of how many jobs are
+taken or in what order tenants were declared.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Tuple
+
+from ..errors import FleetError
+
+__all__ = [
+    "DEFAULT_FLEET_WORKLOADS",
+    "JobArrival",
+    "TenantSpec",
+    "TrafficGenerator",
+    "default_tenants",
+]
+
+#: The fleet's default workload rotation — the same diverse plan shapes
+#: the single-machine chaos campaign exercises.
+DEFAULT_FLEET_WORKLOADS = ("tpch_q6", "kmeans", "blackscholes", "pagerank")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of the fleet and its admission policy.
+
+    ``rate_jobs_per_s`` may be left ``None``; the fleet then derives a
+    concrete rate from the measured mean service time and the
+    configured target load (see
+    :meth:`repro.fleet.fleet.Fleet.resolve_tenants`).  The traffic
+    generator itself requires resolved rates.
+    """
+
+    name: str
+    #: Mean open-loop arrival rate (Poisson).  ``None`` = derive from
+    #: the fleet's target load and this tenant's ``weight``.
+    rate_jobs_per_s: Optional[float] = None
+    #: Relative share of the fleet's derived aggregate arrival rate.
+    weight: float = 1.0
+    #: Higher priority is dispatched first and shed last.
+    priority: int = 1
+    #: Token-bucket refill rate for admission; ``None`` = 1.5x the
+    #: (resolved) arrival rate, so a well-behaved tenant rarely sheds.
+    admission_rate: Optional[float] = None
+    #: Token-bucket capacity (burst tolerance), in jobs.
+    admission_burst: int = 8
+    #: Bounded queue depth; an arrival past this is shed, never queued.
+    queue_limit: int = 16
+    #: The workload rotation this tenant's users submit.
+    workloads: Tuple[str, ...] = DEFAULT_FLEET_WORKLOADS
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise FleetError("tenant name must be non-empty")
+        if self.rate_jobs_per_s is not None and self.rate_jobs_per_s <= 0:
+            raise FleetError(
+                f"tenant {self.name!r}: rate_jobs_per_s must be positive, "
+                f"got {self.rate_jobs_per_s}"
+            )
+        if self.weight <= 0:
+            raise FleetError(
+                f"tenant {self.name!r}: weight must be positive, got {self.weight}"
+            )
+        if self.admission_rate is not None and self.admission_rate <= 0:
+            raise FleetError(
+                f"tenant {self.name!r}: admission_rate must be positive, "
+                f"got {self.admission_rate}"
+            )
+        if self.admission_burst < 1:
+            raise FleetError(
+                f"tenant {self.name!r}: admission_burst must be at least 1, "
+                f"got {self.admission_burst}"
+            )
+        if self.queue_limit < 1:
+            raise FleetError(
+                f"tenant {self.name!r}: queue_limit must be at least 1, "
+                f"got {self.queue_limit}"
+            )
+        if not self.workloads:
+            raise FleetError(f"tenant {self.name!r}: workloads must not be empty")
+
+
+def default_tenants(count: int = 3) -> Tuple[TenantSpec, ...]:
+    """A standard tenant mix: descending priority, auto-derived rates.
+
+    ``tenant-a`` is the premium tenant (shed last), ``tenant-b`` the
+    standard one, ``tenant-c`` (and beyond) best-effort — the first
+    to go when the fleet degrades gracefully under overload.
+    """
+    if count < 1:
+        raise FleetError(f"tenant count must be at least 1, got {count}")
+    names = [f"tenant-{chr(ord('a') + index)}" for index in range(count)]
+    return tuple(
+        TenantSpec(name=name, priority=count - index)
+        for index, name in enumerate(names)
+    )
+
+
+@dataclass(frozen=True)
+class JobArrival:
+    """One job hitting the front-end: who, what, and when."""
+
+    #: Global id, dense in arrival order (ties broken by tenant name).
+    job_id: int
+    tenant: str
+    workload: str
+    priority: int
+    arrival_time: float
+
+
+class TrafficGenerator:
+    """Seeded open-loop arrival schedules over a tenant set."""
+
+    def __init__(self, tenants: Sequence[TenantSpec], seed: int = 0) -> None:
+        if not tenants:
+            raise FleetError("a fleet needs at least one tenant")
+        names = [tenant.name for tenant in tenants]
+        if len(set(names)) != len(names):
+            raise FleetError(f"tenant names must be unique, got {names}")
+        for tenant in tenants:
+            if tenant.rate_jobs_per_s is None:
+                raise FleetError(
+                    f"tenant {tenant.name!r} has no resolved rate_jobs_per_s; "
+                    f"resolve tenants before generating traffic"
+                )
+        self.tenants = tuple(tenants)
+        self.seed = int(seed)
+
+    def _tenant_stream(self, tenant: TenantSpec) -> Iterator[Tuple[float, str]]:
+        """This tenant's infinite (arrival_time, workload) stream.
+
+        The stream is private per ``(seed, tenant.name)``: adding or
+        reordering *other* tenants never perturbs it.
+        """
+        rng = random.Random(f"fleet-traffic:{self.seed}:{tenant.name}")
+        now = 0.0
+        while True:
+            now += rng.expovariate(tenant.rate_jobs_per_s)
+            yield now, rng.choice(tenant.workloads)
+
+    def schedule(self, job_count: int) -> Tuple[JobArrival, ...]:
+        """The first ``job_count`` arrivals across all tenants, in order.
+
+        A lazy k-way merge over the per-tenant streams; ties in arrival
+        time break by tenant name so the global order is total and
+        deterministic.
+        """
+        if job_count < 1:
+            raise FleetError(f"job_count must be at least 1, got {job_count}")
+        streams = {
+            tenant.name: self._tenant_stream(tenant) for tenant in self.tenants
+        }
+        by_name = {tenant.name: tenant for tenant in self.tenants}
+        heap = []
+        for name in sorted(streams):
+            at_time, workload = next(streams[name])
+            heapq.heappush(heap, (at_time, name, workload))
+        arrivals = []
+        while len(arrivals) < job_count:
+            at_time, name, workload = heapq.heappop(heap)
+            tenant = by_name[name]
+            arrivals.append(JobArrival(
+                job_id=len(arrivals),
+                tenant=name,
+                workload=workload,
+                priority=tenant.priority,
+                arrival_time=at_time,
+            ))
+            next_time, next_workload = next(streams[name])
+            heapq.heappush(heap, (next_time, name, next_workload))
+        return tuple(arrivals)

@@ -111,6 +111,16 @@ GATED_METRICS: Dict[str, Tuple[GatedMetric, ...]] = {
             "torn_write_recovery.crash_torn_records_seconds", "max", rel_tol=0.02
         ),
     ),
+    "fleet": (
+        # The multi-CSD story: four devices must keep finishing the
+        # saturating workload in at most ~1/3 the one-device makespan.
+        # Gating the *fraction* (not the speedup) keeps the direction
+        # "max": a scheduler change that erodes scale-out grows it.
+        GatedMetric("scale_out.fraction_of_one_device", "max", rel_tol=0.02),
+        GatedMetric("scale_out.one_device_makespan_s", "max", rel_tol=0.01),
+        GatedMetric("scale_out.four_device_makespan_s", "max", rel_tol=0.01),
+        GatedMetric("failover.loss_makespan_s", "max", rel_tol=0.02),
+    ),
     "integrity": (
         # The "disabled means free" contract, pinned at exactly zero:
         # any simulated cost leaking out of the off-by-default layer is

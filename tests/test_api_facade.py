@@ -19,6 +19,7 @@ PUBLIC_PACKAGES = [
     "repro.baselines",
     "repro.chaos",
     "repro.faults",
+    "repro.fleet",
     "repro.frontend",
     "repro.graph",
     "repro.hw",

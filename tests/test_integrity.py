@@ -22,6 +22,7 @@ from repro.config import DEFAULT_CONFIG
 from repro.errors import FaultError, IntegrityError
 from repro.faults.spec import (
     FAULT_KIND_INFO,
+    FLEET_KINDS,
     LOUD_KINDS,
     SILENT_KINDS,
     FaultKind,
@@ -69,9 +70,31 @@ class TestFaultCatalogue:
         for description, target in FAULT_KIND_INFO.values():
             assert description and target
 
-    def test_loud_and_silent_partition_the_enum(self):
-        assert set(LOUD_KINDS) | set(SILENT_KINDS) == set(FaultKind)
-        assert not set(LOUD_KINDS) & set(SILENT_KINDS)
+    def test_kind_classes_partition_the_enum(self):
+        classes = (set(LOUD_KINDS), set(SILENT_KINDS), set(FLEET_KINDS))
+        union = set()
+        for kinds in classes:
+            assert not union & kinds
+            union |= kinds
+        assert union == set(FaultKind)
+
+    def test_loud_and_silent_pools_are_frozen(self):
+        """Growing the enum must never reshuffle pre-existing seeds.
+
+        These two tuples are the historical plan pools; new kinds (the
+        fleet-level ones included) must land in their own class, never
+        here.  The exact contents are pinned on purpose.
+        """
+        assert tuple(k.value for k in LOUD_KINDS) == (
+            "nand-read-correctable", "nand-read-uncorrectable",
+            "nvme-completion-loss", "nvme-completion-delay",
+            "nvme-queue-stall", "cse-crash", "link-degrade",
+            "checkpoint-torn-write",
+        )
+        assert tuple(k.value for k in SILENT_KINDS) == (
+            "nand-silent-corruption", "bar-transfer-corruption",
+            "checkpoint-silent-bitrot",
+        )
 
     def test_default_random_pool_excludes_silent_kinds(self):
         """Growing the enum must never reshuffle plans from old seeds."""
@@ -123,6 +146,12 @@ _ROUND_TRIP_SPECS = {
         count=2),
     FaultKind.CHECKPOINT_SILENT_BITROT: FaultSpec(
         kind=FaultKind.CHECKPOINT_SILENT_BITROT, at_time=2.75, count=2),
+    FaultKind.DEVICE_LOST_MID_JOB: FaultSpec(
+        kind=FaultKind.DEVICE_LOST_MID_JOB, at_time=3.0, target="csd1",
+        duration_s=0.5),
+    FaultKind.TENANT_FAULT_INJECTION: FaultSpec(
+        kind=FaultKind.TENANT_FAULT_INJECTION, at_time=3.25,
+        target="tenant-a", duration_s=0.4, count=2),
 }
 
 

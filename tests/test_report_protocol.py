@@ -9,6 +9,15 @@ from repro.analysis.timeline import ExecutionTimeline
 from repro.chaos import ChaosRunOutcome
 from repro.chaos.campaign import CampaignConfig, CampaignResult
 from repro.faults import FaultPlan
+from repro.fleet import (
+    Fleet,
+    FleetCampaignConfig,
+    FleetCampaignResult,
+    FleetChaosOutcome,
+    FleetConfig,
+    SloSnapshot,
+    TenantSpec,
+)
 from repro.runtime.activepy import ActivePy
 from repro.workloads import get_workload
 
@@ -68,6 +77,55 @@ class TestProtocolSpeakers:
         payload = json.loads(dumps(campaign))
         assert payload["experiment"] == "chaos-campaign"
         assert payload["outcomes"][0]["seed"] == 7
+
+
+class TestFleetReportsSpeakTheProtocol:
+    @pytest.fixture(scope="class")
+    def fleet_report(self):
+        config = FleetConfig(
+            device_count=2,
+            tenants=(TenantSpec(name="t", rate_jobs_per_s=8.0,
+                                admission_rate=1000.0, admission_burst=64,
+                                queue_limit=256),),
+            job_count=6,
+            scale=2 ** -6,
+        )
+        return Fleet(config).run()
+
+    def test_fleet_report_satisfies_protocol(self, fleet_report):
+        assert isinstance(fleet_report, ReportLike)
+        data = to_jsonable(fleet_report)
+        assert data["experiment"] == "fleet-run"
+        assert set(fleet_report.summary()) <= set(data)
+        payload = json.loads(dumps(fleet_report))
+        assert payload["device_count"] == 2
+        assert len(payload["outcomes"]) == 6
+
+    def test_slo_snapshots_round_trip(self, fleet_report):
+        assert fleet_report.slos
+        for snapshot in fleet_report.slos:
+            assert isinstance(snapshot, ReportLike)
+            payload = json.loads(dumps(snapshot))
+            assert payload["experiment"] == "fleet-tenant-slo"
+            assert payload["tenant"] == snapshot.tenant
+            assert payload["queue_wait_p99_s"] == pytest.approx(
+                snapshot.queue_wait_p99_s
+            )
+
+    def test_chaos_outcome_and_campaign_satisfy_protocol(self):
+        outcome = FleetChaosOutcome(
+            seed=3, plan=FaultPlan(()), violations=(),
+            completed=5, degraded=1, shed=0, makespan_s=1.5,
+        )
+        assert isinstance(outcome, ReportLike)
+        assert to_jsonable(outcome)["experiment"] == "fleet-chaos-run"
+        result = FleetCampaignResult(
+            config=FleetCampaignConfig(runs=1), outcomes=[outcome],
+        )
+        assert isinstance(result, ReportLike)
+        payload = json.loads(dumps(result))
+        assert payload["experiment"] == "fleet-chaos-campaign"
+        assert payload["outcomes"][0]["seed"] == 3
 
 
 class TestRenamedAttributeShim:
