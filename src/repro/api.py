@@ -110,6 +110,7 @@ from .runtime.executor import ExecutionResult
 from .runtime.explain import LineExplanation, PlanExplanation, explain_plan
 from .runtime.planner import Plan, assign_csd_code
 from .runtime.profcache import ProfileCache, default_cache
+from .sim import EventHandle, SimClock, SimSnapshot, Simulator
 from .workloads import Workload, all_workloads, get_workload, workload_names
 
 __all__ = [
@@ -129,6 +130,7 @@ __all__ = [
     "Dataset",
     "DeadlineError",
     "DeviceLostError",
+    "EventHandle",
     "ExecutionMode",
     "ExecutionResult",
     "ExecutionTimeline",
@@ -171,6 +173,9 @@ __all__ = [
     "ReproError",
     "RunOptions",
     "SILENT_KINDS",
+    "SimClock",
+    "SimSnapshot",
+    "Simulator",
     "SloSnapshot",
     "Span",
     "Statement",

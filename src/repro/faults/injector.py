@@ -2,7 +2,7 @@
 
 The injector translates each :class:`~repro.faults.spec.FaultSpec` into
 simulator events on the machine's shared
-:class:`~repro.sim.engine.Simulator`: at the spec's timestamp the
+:class:`~repro.sim.Simulator`: at the spec's timestamp the
 corresponding hardware hook flips (a NAND read fault is armed, the CSE
 crashes, a link degrades), and window faults get a paired recovery
 event.  All state changes go through the same hooks tests and the
@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..errors import FaultError
-from ..sim.engine import Event
+from ..sim.handle import EventHandle
 from .log import FaultLog
 from .spec import FLEET_KINDS, FaultKind, FaultPlan, FaultSpec
 
@@ -40,7 +40,7 @@ class FaultInjector:
         self.injected = 0
         self.stale_dropped = 0
         self._armed = False
-        self._events: List[Event] = []
+        self._events: List[EventHandle] = []
 
     # --- arming -----------------------------------------------------------
 

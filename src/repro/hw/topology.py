@@ -24,7 +24,7 @@ from ..config import DEFAULT_CONFIG, SystemConfig
 from ..errors import HardwareError, StorageError
 from ..memory.address_space import SharedAddressSpace
 from ..obs import Observability
-from ..sim.engine import Simulator
+from ..sim import Simulator
 from ..storage.csd import ComputationalStorageDevice
 from ..units import GIB
 from .compute import ComputeUnit

@@ -1,0 +1,299 @@
+"""Struct-of-arrays event engine: the fast default behind ``Simulator``.
+
+Instead of one heap-ordered ``Event`` object per scheduled callback,
+this engine stores events column-wise — a NumPy ``float64`` array of
+timestamps, a ``bytearray`` of per-event status codes, and parallel
+Python lists of callbacks and labels.  The slot index doubles as the
+event's sequence number (slots are append-only and never reused within
+an engine), so the ``(time, seq)`` total order the object engine gets
+from its heap falls out of a single stable ``argsort`` over the due
+window here.
+
+Firing is *batched*: one vectorised selection finds every pending event
+due at or before the deadline, one stable sort puts the batch in
+``(time, seq)`` order, and a tight loop fires it — no per-event heap
+maintenance, no ``Event.__lt__`` dispatch.  Callbacks that schedule or
+cancel mid-drain are absorbed exactly as the object engine absorbs
+them: cancellations are caught by the per-slot status check, and a
+newly scheduled event that would precede the rest of the batch forces a
+re-selection (see ``drain``), so firing order is bit-identical to the
+heapq reference in every case, ties and cancels included.
+
+Snapshots are copy-on-write: :meth:`_ArrayEngine.capture` hands out
+references to the live columns and flips a flag; the engine copies the
+columns lazily on its next mutation, so taking a snapshot is O(1) and
+forking costs one array copy only when both branches keep running.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from .handle import EventHandle
+
+__all__ = ["_ArrayEngine", "_ArrayState"]
+
+#: Per-slot status codes (stored in the ``bytearray`` column).
+_PENDING, _FIRED, _CANCELLED = 0, 1, 2
+
+_INITIAL_CAPACITY = 64
+
+
+class _ArrayState:
+    """Snapshot payload: shared references to the engine's columns.
+
+    Immutable by convention — the engine copy-on-writes before mutating
+    any column a live snapshot still references, so a state can be
+    restored any number of times.
+    """
+
+    __slots__ = (
+        "times", "status", "actions", "labels",
+        "size", "live", "next_due", "fired",
+    )
+
+    def __init__(self, times, status, actions, labels, size, live, next_due, fired):
+        self.times = times
+        self.status = status
+        self.actions = actions
+        self.labels = labels
+        self.size = size
+        self.live = live
+        self.next_due = next_due
+        self.fired = fired
+
+
+class _ArrayEngine:
+    """The struct-of-arrays engine (see module docstring)."""
+
+    name = "array"
+
+    __slots__ = (
+        "_times", "_status", "_actions", "_labels",
+        "_size", "_live", "_next_due", "fired", "_cow",
+    )
+
+    def __init__(self) -> None:
+        self._times = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._status = bytearray(_INITIAL_CAPACITY)
+        self._actions: List[Optional[Callable[[], None]]] = []
+        self._labels: List[str] = []
+        #: Number of slots ever used; also the next event's seq.
+        self._size = 0
+        #: Pending (scheduled, neither fired nor cancelled) count — O(1).
+        self._live = 0
+        #: Lower bound on the earliest pending timestamp.  Never stale
+        #: high: pushes lower it eagerly, and it is recomputed exactly
+        #: whenever a drain's selection comes back empty.
+        self._next_due = math.inf
+        #: Events fired over the engine's lifetime.
+        self.fired = 0
+        #: True while a snapshot shares the columns; the next mutation
+        #: copies them first (copy-on-write).
+        self._cow = False
+
+    # --- storage ----------------------------------------------------------
+
+    @property
+    def live(self) -> int:
+        return self._live
+
+    def _materialize(self) -> None:
+        """Replace shared columns with private copies (post-snapshot)."""
+        self._times = self._times.copy()
+        self._status = bytearray(self._status)
+        self._actions = list(self._actions)
+        self._labels = list(self._labels)
+        self._cow = False
+
+    def _grow(self, need: int) -> None:
+        capacity = len(self._times)
+        while capacity < need:
+            capacity *= 2
+        fresh = np.empty(capacity, dtype=np.float64)
+        fresh[: self._size] = self._times[: self._size]
+        self._times = fresh
+        self._status.extend(bytes(capacity - len(self._status)))
+
+    # --- scheduling -------------------------------------------------------
+
+    def push(self, time: float, action: Callable[[], None], label: str = "") -> EventHandle:
+        if self._cow:
+            self._materialize()
+        index = self._size
+        if index >= len(self._times):
+            self._grow(index + 1)
+        self._times[index] = time
+        self._actions.append(action)
+        self._labels.append(label)
+        self._size = index + 1
+        self._live += 1
+        if time < self._next_due:
+            self._next_due = time
+        return EventHandle(self, index)
+
+    def push_batch(
+        self,
+        times: np.ndarray,
+        action: Union[Callable[[], None], Sequence[Callable[[], None]]],
+        labels: Union[str, Sequence[str]] = "",
+    ) -> None:
+        """Append a whole column of events in one vectorised write."""
+        if self._cow:
+            self._materialize()
+        count = int(times.size)
+        lo = self._size
+        hi = lo + count
+        if hi > len(self._times):
+            self._grow(hi)
+        self._times[lo:hi] = times
+        if callable(action):
+            self._actions.extend([action] * count)
+        else:
+            self._actions.extend(action)
+        if isinstance(labels, str):
+            self._labels.extend([labels] * count)
+        else:
+            self._labels.extend(labels)
+        self._size = hi
+        self._live += count
+        earliest = float(times.min())
+        if earliest < self._next_due:
+            self._next_due = earliest
+
+    # --- handle protocol --------------------------------------------------
+
+    def cancel_key(self, index: int) -> None:
+        if self._status[index] != _PENDING:
+            return  # already fired or already cancelled: idempotent
+        if self._cow:
+            self._materialize()
+        self._status[index] = _CANCELLED
+        self._actions[index] = None
+        self._live -= 1
+
+    def handle_time(self, index: int) -> float:
+        return float(self._times[index])
+
+    def handle_seq(self, index: int) -> int:
+        return index
+
+    def handle_label(self, index: int) -> str:
+        return self._labels[index]
+
+    def handle_cancelled(self, index: int) -> bool:
+        return self._status[index] == _CANCELLED
+
+    # --- firing -----------------------------------------------------------
+
+    def drain(
+        self,
+        deadline: float,
+        clock=None,
+        counter=None,
+        limit: Optional[int] = None,
+    ) -> int:
+        """Fire every pending event with ``time <= deadline``, in order.
+
+        ``clock`` non-None advances it to each event's timestamp before
+        the callback runs (the ``run_until``/``run_all`` contract);
+        None leaves it alone (``fire_due_events``).  ``counter`` is the
+        obs events-fired counter or None; ``limit`` caps how many
+        events fire.  Returns the number fired.
+        """
+        if self._cow:
+            self._materialize()
+        fired_total = 0
+        advance = clock is not None
+        while True:
+            if self._live == 0 or self._next_due > deadline:
+                return fired_total
+            if limit is not None and fired_total >= limit:
+                return fired_total
+            size = self._size
+            times = self._times[:size]
+            status = np.frombuffer(self._status, dtype=np.uint8, count=size)
+            pending = status == _PENDING
+            if deadline == math.inf:
+                due = pending
+            else:
+                due = pending & (times <= deadline)
+            indices = np.flatnonzero(due)
+            if indices.size == 0:
+                live_times = times[pending]
+                self._next_due = float(live_times.min()) if live_times.size else math.inf
+                return fired_total
+            # Stable sort by time over ascending slot indices == exact
+            # (time, seq) order, same-time ties in scheduling order.
+            order = indices[np.argsort(times[indices], kind="stable")]
+            order_list = order.tolist()
+            time_list = times[order].tolist()
+            # Release the frombuffer view before callbacks run: a held
+            # export would make a growth-triggering push raise
+            # BufferError when it resizes the status column.
+            del status, pending, due
+            batch = len(order_list)
+            statuses = self._status
+            actions = self._actions
+            position = 0
+            while position < batch:
+                index = order_list[position]
+                event_time = time_list[position]
+                position += 1
+                if statuses[index] != _PENDING:
+                    continue  # cancelled by an earlier callback
+                statuses[index] = _FIRED
+                action = actions[index]
+                actions[index] = None
+                self._live -= 1
+                if advance:
+                    now = clock.now
+                    clock.advance_to(event_time if event_time > now else now)
+                action()
+                self.fired += 1
+                fired_total += 1
+                if counter is not None:
+                    counter.inc()
+                if limit is not None and fired_total >= limit:
+                    return fired_total
+                if self._actions is not actions:
+                    # The callback snapshotted this engine mid-drain and
+                    # a later mutation copy-on-wrote the columns;
+                    # re-acquire so we keep mutating the live ones.
+                    statuses = self._status
+                    actions = self._actions
+                if self._size != size:
+                    size = self._size
+                    if advance and position < batch and self._next_due < time_list[position]:
+                        # The callback scheduled an event that must fire
+                        # before the rest of this batch: fall back to the
+                        # outer loop to re-select in (time, seq) order.
+                        break
+            # Loop: absorbs mid-drain arrivals, then the empty selection
+            # recomputes _next_due exactly and returns.
+
+    # --- snapshot / restore ----------------------------------------------
+
+    def capture(self) -> _ArrayState:
+        """O(1) snapshot: share the columns, copy lazily on mutation."""
+        self._cow = True
+        return _ArrayState(
+            self._times, self._status, self._actions, self._labels,
+            self._size, self._live, self._next_due, self.fired,
+        )
+
+    def restore(self, state: _ArrayState) -> None:
+        self._times = state.times
+        self._status = state.status
+        self._actions = state.actions
+        self._labels = state.labels
+        self._size = state.size
+        self._live = state.live
+        self._next_due = state.next_due
+        self.fired = state.fired
+        # The columns are shared with the snapshot (which may be
+        # restored again): copy before the next mutation.
+        self._cow = True

@@ -84,6 +84,21 @@ class SimClock:
             self._attributor.record(old, self._now, component)
         return self._now
 
+    def restore(self, timestamp: float) -> None:
+        """Set the clock to ``timestamp``, forwards *or backwards*.
+
+        This is the snapshot-restore escape hatch used by
+        :meth:`repro.sim.Simulator.restore`: rewinding is the whole
+        point of forkable machine state, so the monotonicity guard is
+        deliberately bypassed.  No attribution record is emitted — an
+        attached attributor's telescoping identity only holds while
+        time is contiguous, so restore inside attribution-free search
+        loops.
+        """
+        if timestamp < 0:
+            raise SimulationError(f"cannot restore clock to negative time {timestamp}")
+        self._now = float(timestamp)
+
     def reset(self) -> None:
         """Rewind to time zero (only for reusing a clock across runs).
 

@@ -1,14 +1,32 @@
-"""Event queue and simulator loop.
+"""The simulator loop and its two interchangeable event engines.
 
-The engine is deliberately small: an :class:`Event` couples a timestamp
-with a callback, the :class:`EventQueue` orders them (stably, by
-insertion order within a timestamp), and :class:`Simulator` pops events
-and advances the shared :class:`~repro.sim.clock.SimClock`.
-
-Hardware models use this for *asynchronous* behaviour — background
-garbage collection, CSE availability changes, congestion onset — while
+:class:`Simulator` owns the shared :class:`~repro.sim.clock.SimClock`
+and an *event engine*, and runs scheduled callbacks in time order.
+Hardware models use it for asynchronous behaviour — background garbage
+collection, CSE availability changes, congestion onset — while
 straight-line execution cost is accounted synchronously via
 ``clock.advance``.
+
+Two engines implement the same contract and fire events in bit-identical
+order (time, then scheduling sequence, with cancels honoured at any
+point):
+
+``array`` (the default)
+    The struct-of-arrays engine in :mod:`repro.sim.array_engine`:
+    NumPy timestamp column, batched due-event drains, O(1) live
+    counts, copy-on-write :meth:`Simulator.snapshot` / ``fork``.
+
+``object``
+    The original heap-of-:class:`Event` engine, kept as the reference
+    implementation and for the dual-engine equivalence harness.
+
+Select with ``Simulator(engine="array"|"object")`` or the
+``REPRO_SIM_ENGINE`` environment variable (the keyword wins).
+
+Scheduling returns an opaque :class:`~repro.sim.handle.EventHandle`;
+the mutable :class:`Event` dataclass and :class:`EventQueue` remain
+only as the object engine's internals and as deprecated imports (shimmed
+with a warn-once deprecation via ``repro.sim``).
 
 When the simulator carries an enabled :class:`~repro.obs.Observability`
 handle it counts scheduled and fired events (``sim.events_scheduled``,
@@ -19,23 +37,43 @@ results are identical with observability on or off.
 from __future__ import annotations
 
 import heapq
-import itertools
+import math
+import os
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
 
 from ..errors import SimulationError
 from ..obs import Observability
+from .array_engine import _ArrayEngine, _ArrayState
 from .clock import SimClock
+from .handle import EventHandle
 
-__all__ = ["Event", "EventQueue", "Simulator"]
+__all__ = [
+    "DEFAULT_ENGINE",
+    "Event",
+    "EventHandle",
+    "EventQueue",
+    "SimSnapshot",
+    "Simulator",
+]
+
+#: Engine used when neither the ``engine=`` keyword nor the
+#: ``REPRO_SIM_ENGINE`` environment variable picks one.
+DEFAULT_ENGINE = "array"
+
+_ENGINE_NAMES = ("array", "object")
 
 
 @dataclass(order=True, slots=True)
 class Event:
-    """A scheduled callback.
+    """A scheduled callback (deprecated; the object engine's internal).
 
     Events order by time, then by a monotonically increasing sequence
-    number so same-time events fire in scheduling order.
+    number so same-time events fire in scheduling order.  New code
+    should schedule through :class:`Simulator` and hold the returned
+    :class:`EventHandle` instead of touching this class.
     """
 
     time: float
@@ -58,15 +96,17 @@ class Event:
 
 
 class EventQueue:
-    """A stable min-heap of :class:`Event` objects.
+    """A stable min-heap of :class:`Event` objects (deprecated).
 
     Tracks the live (non-cancelled, not yet popped) count incrementally
-    so ``len()`` is O(1) instead of a scan over the heap.
+    so ``len()`` is O(1) instead of a scan over the heap.  Kept as the
+    object engine's storage and for legacy imports; new code should use
+    :class:`Simulator` directly.
     """
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
-        self._counter = itertools.count()
+        self._next_seq = 0
         self._live = 0
 
     def __len__(self) -> int:
@@ -79,7 +119,8 @@ class EventQueue:
         """Schedule ``action`` at absolute ``time`` and return the event."""
         if time < 0:
             raise SimulationError(f"cannot schedule event at negative time {time}")
-        event = Event(time=time, seq=next(self._counter), action=action, label=label)
+        event = Event(time=time, seq=self._next_seq, action=action, label=label)
+        self._next_seq += 1
         event.queue = self
         heapq.heappush(self._heap, event)
         self._live += 1
@@ -102,23 +143,175 @@ class EventQueue:
         return self._heap[0].time if self._heap else None
 
 
+class _ObjectEngine:
+    """Adapter putting the legacy heapq engine behind the engine contract."""
+
+    name = "object"
+
+    __slots__ = ("queue", "fired")
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.fired = 0
+
+    @property
+    def live(self) -> int:
+        return len(self.queue)
+
+    # --- scheduling -------------------------------------------------------
+
+    def push(self, time: float, action: Callable[[], None], label: str = "") -> EventHandle:
+        return EventHandle(self, self.queue.push(time, action, label))
+
+    def push_batch(
+        self,
+        times: np.ndarray,
+        action: Union[Callable[[], None], Sequence[Callable[[], None]]],
+        labels: Union[str, Sequence[str]] = "",
+    ) -> None:
+        push = self.queue.push
+        single_action = callable(action)
+        single_label = isinstance(labels, str)
+        for position, time in enumerate(times.tolist()):
+            push(
+                time,
+                action if single_action else action[position],
+                labels if single_label else labels[position],
+            )
+
+    # --- handle protocol --------------------------------------------------
+
+    def cancel_key(self, event: Event) -> None:
+        if event.queue is None and not event.cancelled:
+            return  # already popped and fired: cancel is a no-op
+        event.cancel()
+
+    def handle_time(self, event: Event) -> float:
+        return event.time
+
+    def handle_seq(self, event: Event) -> int:
+        return event.seq
+
+    def handle_label(self, event: Event) -> str:
+        return event.label
+
+    def handle_cancelled(self, event: Event) -> bool:
+        return event.cancelled
+
+    # --- firing -----------------------------------------------------------
+
+    def drain(
+        self,
+        deadline: float,
+        clock: Optional[SimClock] = None,
+        counter=None,
+        limit: Optional[int] = None,
+    ) -> int:
+        """Pop-and-fire every live event due at or before ``deadline``."""
+        queue = self.queue
+        fired_total = 0
+        while limit is None or fired_total < limit:
+            next_time = queue.peek_time()
+            if next_time is None or next_time > deadline:
+                break
+            event = queue.pop()
+            assert event is not None
+            if clock is not None:
+                clock.advance_to(max(event.time, clock.now))
+            event.action()
+            self.fired += 1
+            fired_total += 1
+            if counter is not None:
+                counter.inc()
+        return fired_total
+
+    # --- snapshot / restore ----------------------------------------------
+
+    def capture(self):
+        # Events are mutable (the cancelled flag), so an eager copy is
+        # required; the array engine's copy-on-write is the cheap path.
+        heap = [
+            Event(time=e.time, seq=e.seq, action=e.action,
+                  label=e.label, cancelled=e.cancelled)
+            for e in self.queue._heap
+        ]
+        return (heap, self.queue._next_seq, len(self.queue), self.fired)
+
+    def restore(self, state) -> None:
+        heap, next_seq, live, fired = state
+        queue = EventQueue()
+        # Copy again: the snapshot must survive this branch's mutations
+        # and stay restorable.  The copied list is already heap-ordered.
+        queue._heap = [
+            Event(time=e.time, seq=e.seq, action=e.action,
+                  label=e.label, cancelled=e.cancelled)
+            for e in heap
+        ]
+        for event in queue._heap:
+            if not event.cancelled:
+                event.queue = queue
+        queue._next_seq = next_seq
+        queue._live = live
+        self.queue = queue
+        self.fired = fired
+
+
+@dataclass(frozen=True)
+class SimSnapshot:
+    """Frozen engine + clock state captured by :meth:`Simulator.snapshot`.
+
+    Opaque: the payload layout is engine-private.  A snapshot can be
+    restored any number of times (:meth:`Simulator.restore`) and only
+    into a simulator running the same engine kind.
+    """
+
+    engine: str
+    clock_now: float
+    state: object = field(repr=False)
+
+    @property
+    def pending_events(self) -> int:
+        """Live events captured in the snapshot (diagnostics)."""
+        if isinstance(self.state, _ArrayState):
+            return self.state.live
+        return self.state[2]
+
+
 class Simulator:
-    """Owns the clock and the event queue; runs events in time order."""
+    """Owns the clock and an event engine; runs events in time order.
+
+    Construction is keyword-only::
+
+        sim = Simulator(clock=..., obs=..., engine="array")
+
+    ``engine`` defaults to the ``REPRO_SIM_ENGINE`` environment
+    variable, then to :data:`DEFAULT_ENGINE`.
+    """
 
     def __init__(
         self,
+        *,
         clock: Optional[SimClock] = None,
         obs: Optional[Observability] = None,
+        engine: Optional[str] = None,
     ) -> None:
         self.clock = clock if clock is not None else SimClock()
-        self.events = EventQueue()
         self.obs = obs if obs is not None else Observability.disabled()
-        self._fired = 0
+        if engine is None:
+            engine = os.environ.get("REPRO_SIM_ENGINE") or DEFAULT_ENGINE
+        if engine not in _ENGINE_NAMES:
+            raise SimulationError(
+                f"unknown sim engine {engine!r}; expected one of {_ENGINE_NAMES}"
+            )
+        self._engine_name = engine
+        self._engine = _ArrayEngine() if engine == "array" else _ObjectEngine()
 
-    def _count_fired(self) -> None:
-        self._fired += 1
-        if self.obs.enabled:
-            self.obs.metrics.counter("sim.events_fired").inc()
+    # --- introspection ------------------------------------------------------
+
+    @property
+    def engine_name(self) -> str:
+        """Which engine backs this simulator: ``"array"`` or ``"object"``."""
+        return self._engine_name
 
     @property
     def now(self) -> float:
@@ -127,9 +320,23 @@ class Simulator:
     @property
     def events_fired(self) -> int:
         """Number of events executed so far (for tests/diagnostics)."""
-        return self._fired
+        return self._engine.fired
 
-    def schedule_at(self, time: float, action: Callable[[], None], label: str = "") -> Event:
+    @property
+    def pending_events(self) -> int:
+        """Live (scheduled, not fired, not cancelled) events — O(1)."""
+        return self._engine.live
+
+    def _fired_counter(self):
+        """The obs events-fired counter, or None when obs is disabled."""
+        obs = self.obs
+        return obs.metrics.counter("sim.events_fired") if obs.enabled else None
+
+    # --- scheduling ---------------------------------------------------------
+
+    def schedule_at(
+        self, time: float, action: Callable[[], None], label: str = ""
+    ) -> EventHandle:
         """Schedule ``action`` at an absolute simulated time."""
         if time < self.clock.now:
             raise SimulationError(
@@ -137,15 +344,50 @@ class Simulator:
             )
         if self.obs.enabled:
             self.obs.metrics.counter("sim.events_scheduled").inc()
-        return self.events.push(time, action, label)
+        return self._engine.push(time, action, label)
 
-    def schedule_after(self, delay: float, action: Callable[[], None], label: str = "") -> Event:
+    def schedule_after(
+        self, delay: float, action: Callable[[], None], label: str = ""
+    ) -> EventHandle:
         """Schedule ``action`` ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule event with negative delay {delay}")
         if self.obs.enabled:
             self.obs.metrics.counter("sim.events_scheduled").inc()
-        return self.events.push(self.clock.now + delay, action, label)
+        return self._engine.push(self.clock.now + delay, action, label)
+
+    def schedule_batch(
+        self,
+        times,
+        action: Union[Callable[[], None], Sequence[Callable[[], None]]],
+        labels: Union[str, Sequence[str]] = "",
+    ) -> int:
+        """Bulk fire-and-forget scheduling; returns the count scheduled.
+
+        ``times`` is any 1-D sequence of absolute timestamps; ``action``
+        is one callable shared by every event or a parallel sequence of
+        callables (likewise ``labels``).  No handles are returned — use
+        :meth:`schedule_at` for events that may need cancelling.  On the
+        array engine the timestamps land in one vectorised write.
+        """
+        column = np.ascontiguousarray(times, dtype=np.float64)
+        if column.ndim != 1:
+            raise SimulationError(
+                f"schedule_batch needs a 1-D sequence of times, got shape {column.shape}"
+            )
+        if column.size == 0:
+            return 0
+        earliest = float(column.min())
+        if earliest < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event in the past ({earliest} < {self.clock.now})"
+            )
+        if self.obs.enabled:
+            self.obs.metrics.counter("sim.events_scheduled").inc(column.size)
+        self._engine.push_batch(column, action, labels)
+        return int(column.size)
+
+    # --- running ------------------------------------------------------------
 
     def fire_due_events(self) -> int:
         """Run every event due at or before the current time.
@@ -155,16 +397,15 @@ class Simulator:
         events (availability changes, GC) that became due take effect.
         Returns the number of events fired.
         """
+        counter = self._fired_counter()
         fired = 0
         while True:
-            next_time = self.events.peek_time()
-            if next_time is None or next_time > self.clock.now:
+            # Re-read the clock per pass: a fired callback may advance
+            # it, making further events due.
+            drained = self._engine.drain(self.clock.now, clock=None, counter=counter)
+            if drained == 0:
                 return fired
-            event = self.events.pop()
-            assert event is not None
-            event.action()
-            self._count_fired()
-            fired += 1
+            fired += drained
 
     def run_until(self, deadline: float) -> None:
         """Advance to ``deadline``, firing all events on the way."""
@@ -172,24 +413,78 @@ class Simulator:
             raise SimulationError(
                 f"deadline {deadline} is before current time {self.clock.now}"
             )
-        while True:
-            next_time = self.events.peek_time()
-            if next_time is None or next_time > deadline:
-                break
-            event = self.events.pop()
-            assert event is not None
-            self.clock.advance_to(max(event.time, self.clock.now))
-            event.action()
-            self._count_fired()
+        counter = self._fired_counter()
+        while self._engine.drain(deadline, clock=self.clock, counter=counter):
+            pass
         self.clock.advance_to(deadline)
 
     def run_all(self, max_events: int = 1_000_000) -> None:
-        """Fire every scheduled event in order until the queue drains."""
-        for _ in range(max_events):
-            event = self.events.pop()
-            if event is None:
+        """Fire every scheduled event in order until the queue drains.
+
+        Raises :class:`~repro.errors.SimulationError` only when events
+        remain *beyond* the budget — draining exactly ``max_events``
+        events is a successful run.
+        """
+        counter = self._fired_counter()
+        remaining = max_events
+        while remaining > 0:
+            drained = self._engine.drain(
+                math.inf, clock=self.clock, counter=counter, limit=remaining
+            )
+            if drained == 0:
                 return
-            self.clock.advance_to(max(event.time, self.clock.now))
-            event.action()
-            self._count_fired()
-        raise SimulationError(f"run_all exceeded {max_events} events; likely a scheduling loop")
+            remaining -= drained
+        if self._engine.live > 0:
+            raise SimulationError(
+                f"run_all exceeded {max_events} events; likely a scheduling loop"
+            )
+
+    # --- snapshot / fork ----------------------------------------------------
+
+    def snapshot(self) -> SimSnapshot:
+        """Capture engine + clock state, cheaply (copy-on-write).
+
+        The snapshot pins pending events (callbacks included, by
+        reference), the fired count, and the clock reading.  Callbacks
+        close over live model objects; a snapshot freezes *scheduling*
+        state, not the state those callbacks mutate.
+        """
+        return SimSnapshot(
+            engine=self._engine_name,
+            clock_now=self.clock.now,
+            state=self._engine.capture(),
+        )
+
+    def restore(self, snapshot: SimSnapshot) -> None:
+        """Rewind this simulator to a snapshot (clock may move backwards).
+
+        Handles obtained after the snapshot was taken must not be used
+        once it is restored.  An attached time attributor is *not*
+        rewound — restore inside attribution-free search loops.
+        """
+        if snapshot.engine != self._engine_name:
+            raise SimulationError(
+                f"snapshot was taken on the {snapshot.engine!r} engine; "
+                f"this simulator runs {self._engine_name!r}"
+            )
+        self._engine.restore(snapshot.state)
+        self.clock.restore(snapshot.clock_now)
+
+    def fork(self, *, obs: Optional[Observability] = None) -> "Simulator":
+        """A new independent simulator continuing from this one's state.
+
+        The fork gets its own clock (at the same reading, without the
+        parent's attributor) and its own engine sharing the pending
+        event set copy-on-write; callbacks are shared by reference, so
+        forked branches exploring different futures should reschedule
+        against their own model state.  ``obs`` defaults to sharing the
+        parent's handle — pass ``Observability.disabled()`` to keep
+        search branches out of the parent's metrics.
+        """
+        branch = Simulator(
+            clock=SimClock(),
+            obs=obs if obs is not None else self.obs,
+            engine=self._engine_name,
+        )
+        branch.restore(self.snapshot())
+        return branch

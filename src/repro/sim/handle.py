@@ -1,0 +1,64 @@
+"""The opaque handle returned by ``Simulator.schedule_at``/``schedule_after``.
+
+An :class:`EventHandle` is the only thing a caller may keep from a
+scheduling call: it exposes the event's timestamp, sequence number and
+label read-only, plus :meth:`EventHandle.cancel`.  The handle never
+reveals which engine (array or object) backs the simulator, so models
+written against it run unchanged under either.
+
+Cancellation is idempotent and safe at any point in the event's life:
+cancelling twice, or cancelling after the event already fired, is a
+no-op.  Handles do not survive :meth:`Simulator.restore` — cancelling a
+handle obtained before a snapshot was restored is undefined.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EventHandle"]
+
+
+class EventHandle:
+    """Opaque, cancellable reference to one scheduled event.
+
+    Engines implement the four-accessor protocol this class delegates
+    to (``cancel_key`` / ``handle_time`` / ``handle_seq`` /
+    ``handle_label`` / ``handle_cancelled``); the handle itself carries
+    only the engine reference and an engine-private key.
+    """
+
+    __slots__ = ("_engine", "_key")
+
+    def __init__(self, engine, key) -> None:
+        self._engine = engine
+        self._key = key
+
+    def cancel(self) -> None:
+        """Cancel the event if it is still pending (idempotent)."""
+        self._engine.cancel_key(self._key)
+
+    @property
+    def time(self) -> float:
+        """Absolute simulated time the event fires (or would have)."""
+        return self._engine.handle_time(self._key)
+
+    @property
+    def seq(self) -> int:
+        """Scheduling order; ties at one timestamp fire in seq order."""
+        return self._engine.handle_seq(self._key)
+
+    @property
+    def label(self) -> str:
+        """The diagnostic label passed at scheduling time."""
+        return self._engine.handle_label(self._key)
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` took effect (not set by firing)."""
+        return self._engine.handle_cancelled(self._key)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "scheduled"
+        return (
+            f"EventHandle(time={self.time!r}, seq={self.seq}, "
+            f"label={self.label!r}, {state})"
+        )

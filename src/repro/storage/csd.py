@@ -23,7 +23,7 @@ from ..config import SystemConfig
 from ..errors import StorageError
 from ..hw.interconnect import Link
 from ..memory.address_space import SharedAddressSpace
-from ..sim.engine import Simulator
+from ..sim import Simulator
 from .bar import BarWindow
 from .cse import ComputationalStorageEngine
 from .ftl import PageMappingFTL

@@ -20,7 +20,7 @@ from typing import Optional
 from ..errors import CseCrashError, HardwareError
 from ..hw.compute import ComputeUnit
 from ..obs import Observability
-from ..sim.engine import Simulator
+from ..sim import Simulator
 
 __all__ = ["ComputationalStorageEngine"]
 
@@ -49,7 +49,8 @@ class ComputationalStorageEngine(ComputeUnit):
         self.cores = cores
         self.simulator = simulator
         self.high_priority_pending = False
-        self._scheduled_events = []
+        #: Pending contention handles, cancellable between experiments.
+        self._scheduled_events: list = []
         self.crashed = False
         self.crashes = 0
 

@@ -61,6 +61,47 @@ class TestActivePyRunShims:
         assert report.timeline is not None
 
 
+class TestSimShims:
+    """`repro.sim.Event` / `EventQueue` import through a warn-once shim."""
+
+    @pytest.mark.parametrize("name", ["Event", "EventQueue"])
+    def test_deprecated_name_warns_once_and_resolves(self, name):
+        import repro.sim
+        import repro.sim.engine as engine
+
+        reset_deprecation_registry()
+        with pytest.warns(DeprecationWarning, match=f"repro.sim.{name} is deprecated"):
+            shimmed = getattr(repro.sim, name)
+        assert shimmed is getattr(engine, name)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert getattr(repro.sim, name) is shimmed  # second access: silent
+
+    def test_legacy_event_queue_still_functional(self):
+        import repro.sim
+
+        reset_deprecation_registry()
+        with pytest.warns(DeprecationWarning):
+            queue = repro.sim.EventQueue()
+        fired = []
+        queue.push(2.0, lambda: fired.append("b"))
+        queue.push(1.0, lambda: fired.append("a"))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert fired == ["a", "b"]
+
+    def test_internal_import_path_stays_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.sim.engine import Event, EventQueue  # noqa: F401
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.sim
+
+        with pytest.raises(AttributeError):
+            repro.sim.does_not_exist
+
+
 class TestChaosOutcomeShim:
     def _outcome(self):
         from repro.chaos import ChaosHarness

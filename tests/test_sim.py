@@ -1,10 +1,19 @@
 """Discrete-event engine: clock monotonicity and event ordering."""
 
+import numpy as np
 import pytest
 
 from repro.errors import SimulationError
 from repro.sim.clock import SimClock
-from repro.sim.engine import EventQueue, Simulator
+from repro.sim.engine import DEFAULT_ENGINE, EventQueue, Simulator
+
+ENGINES = ("object", "array")
+
+
+@pytest.fixture(params=ENGINES)
+def sim(request):
+    """A fresh simulator, run once per engine."""
+    return Simulator(engine=request.param)
 
 
 class TestSimClock:
@@ -117,8 +126,7 @@ class TestEventQueue:
 
 
 class TestSimulator:
-    def test_schedule_after_uses_now(self):
-        sim = Simulator()
+    def test_schedule_after_uses_now(self, sim):
         sim.clock.advance(10.0)
         fired = []
         sim.schedule_after(5.0, lambda: fired.append(sim.now))
@@ -126,14 +134,12 @@ class TestSimulator:
         assert fired == [15.0]
         assert sim.now == 20.0
 
-    def test_schedule_in_past_rejected(self):
-        sim = Simulator()
+    def test_schedule_in_past_rejected(self, sim):
         sim.clock.advance(10.0)
         with pytest.raises(SimulationError):
             sim.schedule_at(5.0, lambda: None)
 
-    def test_fire_due_events_only_fires_due(self):
-        sim = Simulator()
+    def test_fire_due_events_only_fires_due(self, sim):
         fired = []
         sim.schedule_at(1.0, lambda: fired.append("early"))
         sim.schedule_at(9.0, lambda: fired.append("late"))
@@ -142,13 +148,11 @@ class TestSimulator:
         assert count == 1
         assert fired == ["early"]
 
-    def test_fire_due_events_noop_when_nothing_due(self):
-        sim = Simulator()
+    def test_fire_due_events_noop_when_nothing_due(self, sim):
         sim.schedule_at(5.0, lambda: None)
         assert sim.fire_due_events() == 0
 
-    def test_run_until_advances_through_events(self):
-        sim = Simulator()
+    def test_run_until_advances_through_events(self, sim):
         timeline = []
         sim.schedule_at(1.0, lambda: timeline.append(sim.now))
         sim.schedule_at(2.0, lambda: timeline.append(sim.now))
@@ -156,14 +160,12 @@ class TestSimulator:
         assert timeline == [1.0, 2.0]
         assert sim.now == 3.0
 
-    def test_run_until_past_deadline_rejected(self):
-        sim = Simulator()
+    def test_run_until_past_deadline_rejected(self, sim):
         sim.clock.advance(2.0)
         with pytest.raises(SimulationError):
             sim.run_until(1.0)
 
-    def test_events_can_schedule_events(self):
-        sim = Simulator()
+    def test_events_can_schedule_events(self, sim):
         fired = []
 
         def chain():
@@ -175,9 +177,7 @@ class TestSimulator:
         sim.run_all()
         assert fired == [1.0, 2.0, 3.0]
 
-    def test_run_all_guards_against_loops(self):
-        sim = Simulator()
-
+    def test_run_all_guards_against_loops(self, sim):
         def forever():
             sim.schedule_after(0.0, forever)
 
@@ -185,12 +185,132 @@ class TestSimulator:
         with pytest.raises(SimulationError):
             sim.run_all(max_events=100)
 
-    def test_events_fired_counter(self):
-        sim = Simulator()
+    def test_run_all_exact_budget_is_not_a_loop(self, sim):
+        """Regression: exactly max_events queued must drain cleanly.
+
+        The old engine raised ``SimulationError`` when the queue held
+        exactly ``max_events`` events — an off-by-one that punished
+        legitimate workloads sized at the budget.
+        """
+        fired = []
+        for i in range(10):
+            sim.schedule_at(float(i), lambda i=i: fired.append(i))
+        sim.run_all(max_events=10)
+        assert fired == list(range(10))
+
+    def test_run_all_budget_plus_one_still_raises(self, sim):
+        for i in range(11):
+            sim.schedule_at(float(i), lambda: None)
+        with pytest.raises(SimulationError):
+            sim.run_all(max_events=10)
+
+    def test_events_fired_counter(self, sim):
         sim.schedule_at(1.0, lambda: None)
         sim.schedule_at(2.0, lambda: None)
         sim.run_all()
         assert sim.events_fired == 2
+
+    def test_pending_events_is_live_count(self, sim):
+        handles = [sim.schedule_at(float(i), lambda: None) for i in range(4)]
+        assert sim.pending_events == 4
+        handles[1].cancel()
+        assert sim.pending_events == 3
+        sim.run_all()
+        assert sim.pending_events == 0
+
+
+class TestEventHandle:
+    def test_handle_exposes_event_identity(self, sim):
+        handle = sim.schedule_at(2.5, lambda: None, label="tick")
+        assert handle.time == 2.5
+        assert handle.label == "tick"
+        assert not handle.cancelled
+        assert "tick" in repr(handle)
+
+    def test_seq_is_monotonic_scheduling_order(self, sim):
+        first = sim.schedule_at(9.0, lambda: None)
+        second = sim.schedule_at(1.0, lambda: None)
+        assert second.seq > first.seq
+
+    def test_cancel_is_idempotent(self, sim):
+        fired = []
+        handle = sim.schedule_at(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+        sim.run_all()
+        assert fired == []
+        assert sim.pending_events == 0
+
+    def test_cancel_after_fire_is_harmless(self, sim):
+        fired = []
+        handle = sim.schedule_at(1.0, lambda: fired.append("x"))
+        sim.run_all()
+        handle.cancel()
+        assert not handle.cancelled  # fired, not cancelled
+        assert fired == ["x"]
+
+
+class TestScheduleBatch:
+    def test_batch_fires_in_time_order(self, sim):
+        fired = []
+        sim.schedule_batch([3.0, 1.0, 2.0], lambda: fired.append(sim.now))
+        assert sim.pending_events == 3
+        sim.run_all()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_batch_interleaves_with_scheduled_events(self, sim):
+        fired = []
+        sim.schedule_at(1.5, lambda: fired.append("single"))
+        count = sim.schedule_batch(
+            np.array([1.0, 2.0]), lambda: fired.append(sim.now)
+        )
+        assert count == 2
+        sim.run_all()
+        assert fired == [1.0, "single", 2.0]
+
+    def test_empty_batch_is_noop(self, sim):
+        assert sim.schedule_batch([], lambda: None) == 0
+        assert sim.pending_events == 0
+
+    def test_batch_in_past_rejected(self, sim):
+        sim.clock.advance(5.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_batch([6.0, 4.0], lambda: None)
+
+    def test_batch_rejects_non_1d(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule_batch(np.zeros((2, 2)), lambda: None)
+
+
+class TestEngineSelection:
+    def test_default_engine(self):
+        assert Simulator().engine_name == DEFAULT_ENGINE
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_explicit_engine(self, engine):
+        assert Simulator(engine=engine).engine_name == engine
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_env_var_selects_engine(self, engine, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", engine)
+        assert Simulator().engine_name == engine
+
+    def test_explicit_engine_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "object")
+        assert Simulator(engine="array").engine_name == "array"
+
+    def test_empty_env_var_means_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "")
+        assert Simulator().engine_name == DEFAULT_ENGINE
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator(engine="turbo")
+
+    def test_construction_is_keyword_only(self):
+        with pytest.raises(TypeError):
+            Simulator(SimClock())
 
 
 class TestEngineEdgeCases:
@@ -205,8 +325,7 @@ class TestEngineEdgeCases:
         assert queue.pop() is None
         assert len(queue) == 0
 
-    def test_cancel_fired_simulator_event_is_harmless(self):
-        sim = Simulator()
+    def test_cancel_fired_simulator_event_is_harmless(self, sim):
         fired = []
         event = sim.schedule_at(1.0, lambda: fired.append(sim.now))
         sim.run_until(2.0)
@@ -227,8 +346,7 @@ class TestEngineEdgeCases:
             event.action()
         assert fired == [0, 2, 3, 5, 6]
 
-    def test_schedule_then_cancel_then_reschedule_keeps_fifo(self):
-        sim = Simulator()
+    def test_schedule_then_cancel_then_reschedule_keeps_fifo(self, sim):
         fired = []
         sim.schedule_at(1.0, lambda: fired.append("a"))
         doomed = sim.schedule_at(1.0, lambda: fired.append("x"))

@@ -1,0 +1,279 @@
+"""Dual-engine equivalence: array vs. object vs. a heapq oracle.
+
+The array engine's whole value proposition is that it is a *pure*
+optimisation: for any schedule — same-time ties, interleaved cancels,
+cancel-after-fire, callbacks that schedule or cancel mid-drain — it
+fires exactly the events the reference object engine fires, in exactly
+the same ``(time, seq)`` order.  This module checks that three ways:
+
+* a hypothesis property test driving both engines (and a ~20-line
+  heapq oracle written independently of either) through random
+  scripts of schedules, cancels and drains;
+* hand-written scripts for the adversarial cases (in-callback
+  scheduling before the rest of the batch, cancels aimed at events
+  already in the due window);
+* whole-workload equivalence — rotation workloads and replayed chaos
+  seeds must produce bit-identical run signatures under either engine.
+"""
+
+import heapq
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import CampaignConfig, run_campaign
+from repro.chaos.invariants import run_signature
+from repro.config import SystemConfig
+from repro.runtime.activepy import ActivePy
+from repro.sim import Simulator
+from repro.workloads import get_workload
+
+ENGINES = ("object", "array")
+
+
+class HeapOracle:
+    """Independent reference: a bare (time, seq) heap, nothing shared
+    with either production engine."""
+
+    def __init__(self):
+        self.heap = []
+        self.seq = 0
+        self.cancelled = set()
+        self.fired = []
+
+    def schedule(self, time):
+        seq = self.seq
+        self.seq += 1
+        heapq.heappush(self.heap, (time, seq))
+        return seq
+
+    def cancel(self, seq):
+        self.cancelled.add(seq)
+
+    def drain(self, deadline):
+        while self.heap and self.heap[0][0] <= deadline:
+            time, seq = heapq.heappop(self.heap)
+            if seq in self.cancelled:
+                continue
+            self.fired.append((time, seq))
+
+
+def run_script(engine, script):
+    """Drive a Simulator through (op, ...) tuples; return the firing log.
+
+    Ops: ``("schedule", t)``, ``("cancel", i)`` (i-th handle, modulo),
+    ``("drain", deadline_delta)``.  The log records ``(time, seq)`` for
+    every fired event, so two engines agree iff their logs are equal.
+    """
+    sim = Simulator(engine=engine)
+    handles = []
+    log = []
+
+    def make_action(handle_slot):
+        def action():
+            log.append((sim.now, handles[handle_slot].seq))
+        return action
+
+    for op in script:
+        if op[0] == "schedule":
+            slot = len(handles)
+            handles.append(None)
+            handles[slot] = sim.schedule_at(op[1], make_action(slot))
+        elif op[0] == "cancel":
+            if handles:
+                handles[op[1] % len(handles)].cancel()
+        elif op[0] == "drain":
+            deadline = sim.now + op[1]
+            sim.run_until(deadline)
+    sim.run_all()
+    return log
+
+
+def run_oracle(script):
+    oracle = HeapOracle()
+    seqs = []
+    now = 0.0
+    for op in script:
+        if op[0] == "schedule":
+            seqs.append(oracle.schedule(op[1]))
+        elif op[0] == "cancel":
+            if seqs:
+                oracle.cancel(seqs[op[1] % len(seqs)])
+        elif op[0] == "drain":
+            now = now + op[1]
+            oracle.drain(now)
+    oracle.drain(float("inf"))
+    return oracle.fired
+
+
+# Timestamps from a small grid so same-time collisions are common.
+_TIMES = st.sampled_from([0.0, 1.0, 1.0, 2.0, 2.5, 3.0, 5.0, 10.0])
+
+_OP = st.one_of(
+    st.tuples(st.just("schedule"), _TIMES),
+    st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=63)),
+    st.tuples(st.just("drain"), st.sampled_from([0.0, 0.5, 1.0, 2.0, 4.0])),
+)
+
+
+def _monotonic_schedules(script):
+    """Keep only scripts whose schedules are never in the past."""
+    now = 0.0
+    for op in script:
+        if op[0] == "drain":
+            now += op[1]
+        elif op[0] == "schedule" and op[1] < now:
+            return False
+    return True
+
+
+class TestPropertyEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(_OP, min_size=1, max_size=40).filter(_monotonic_schedules))
+    def test_engines_match_each_other_and_the_oracle(self, script):
+        array_log = run_script("array", script)
+        object_log = run_script("object", script)
+        oracle_log = run_oracle(script)
+        assert array_log == object_log
+        assert array_log == oracle_log
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(_TIMES, min_size=1, max_size=30),
+        st.sets(st.integers(min_value=0, max_value=29)),
+    )
+    def test_cancel_subset_of_batch(self, times, cancel_slots):
+        """Cancel an arbitrary subset before draining: orders match."""
+        logs = {}
+        for engine in ENGINES:
+            sim = Simulator(engine=engine)
+            log = []
+            handles = [
+                sim.schedule_at(t, lambda t=t, i=i: log.append((t, i)))
+                for i, t in enumerate(times)
+            ]
+            for slot in cancel_slots:
+                if slot < len(handles):
+                    handles[slot].cancel()
+            sim.run_all()
+            logs[engine] = log
+        assert logs["array"] == logs["object"]
+
+
+class TestAdversarialScripts:
+    """Hand-picked cases where batching could diverge from the heap."""
+
+    @staticmethod
+    def logs_for(build):
+        logs = {}
+        for engine in ENGINES:
+            sim = Simulator(engine=engine)
+            log = []
+            build(sim, log)
+            sim.run_all()
+            logs[engine] = log
+        assert logs["array"] == logs["object"]
+        return logs["array"]
+
+    def test_callback_schedules_earlier_than_rest_of_batch(self):
+        # t=1 fires and schedules t=1.5; the batch already holds t=2
+        # and t=3 — the new event must jump the queue.
+        def build(sim, log):
+            def first():
+                log.append(("first", sim.now))
+                sim.schedule_at(1.5, lambda: log.append(("mid", sim.now)))
+            sim.schedule_at(1.0, first)
+            sim.schedule_at(2.0, lambda: log.append(("second", sim.now)))
+            sim.schedule_at(3.0, lambda: log.append(("third", sim.now)))
+
+        log = self.logs_for(build)
+        assert log == [
+            ("first", 1.0), ("mid", 1.5), ("second", 2.0), ("third", 3.0),
+        ]
+
+    def test_callback_cancels_later_batch_member(self):
+        def build(sim, log):
+            doomed = {}
+            def first():
+                log.append(("first", sim.now))
+                doomed["h"].cancel()
+            sim.schedule_at(1.0, first)
+            doomed["h"] = sim.schedule_at(2.0, lambda: log.append(("doomed", sim.now)))
+            sim.schedule_at(3.0, lambda: log.append(("last", sim.now)))
+
+        log = self.logs_for(build)
+        assert log == [("first", 1.0), ("last", 3.0)]
+
+    def test_callback_cancels_same_time_sibling(self):
+        def build(sim, log):
+            doomed = {}
+            def first():
+                log.append("first")
+                doomed["h"].cancel()
+            sim.schedule_at(1.0, first)
+            doomed["h"] = sim.schedule_at(1.0, lambda: log.append("doomed"))
+            sim.schedule_at(1.0, lambda: log.append("third"))
+
+        assert self.logs_for(build) == ["first", "third"]
+
+    def test_callback_schedules_same_time_event(self):
+        # A same-time event scheduled mid-drain fires after the rest of
+        # the batch (higher seq), in the same drain.
+        def build(sim, log):
+            def first():
+                log.append("first")
+                sim.schedule_at(sim.now, lambda: log.append("tail"))
+            sim.schedule_at(1.0, first)
+            sim.schedule_at(1.0, lambda: log.append("second"))
+
+        assert self.logs_for(build) == ["first", "second", "tail"]
+
+    def test_cancel_twice_then_drain(self):
+        def build(sim, log):
+            handle = sim.schedule_at(1.0, lambda: log.append("x"))
+            handle.cancel()
+            handle.cancel()
+            sim.schedule_at(2.0, lambda: log.append("y"))
+
+        assert self.logs_for(build) == ["y"]
+
+    def test_fire_due_events_between_schedules(self):
+        logs = {}
+        for engine in ENGINES:
+            sim = Simulator(engine=engine)
+            log = []
+            sim.schedule_at(1.0, lambda: log.append(("a", sim.now)))
+            sim.schedule_at(3.0, lambda: log.append(("b", sim.now)))
+            sim.clock.advance(2.0)
+            fired = sim.fire_due_events()
+            assert fired == 1
+            assert sim.now == 2.0  # fire_due_events never advances
+            sim.run_all()
+            logs[engine] = log
+        assert logs["array"] == logs["object"]
+
+
+class TestWorkloadEquivalence:
+    """Whole-stack equivalence: runs and campaigns, not micro-scripts."""
+
+    @pytest.mark.parametrize("workload_name", ["tpch_q6", "kmeans"])
+    def test_run_signature_matches_across_engines(self, workload_name, monkeypatch):
+        workload = get_workload(workload_name, scale=2 ** -7)
+        signatures = {}
+        for engine in ENGINES:
+            monkeypatch.setenv("REPRO_SIM_ENGINE", engine)
+            report = ActivePy(SystemConfig()).run(workload.program, workload.dataset)
+            signatures[engine] = (run_signature(report), report.total_seconds)
+        assert signatures["array"] == signatures["object"]
+
+    def test_chaos_campaign_matches_across_engines(self, monkeypatch):
+        outcomes = {}
+        for engine in ENGINES:
+            monkeypatch.setenv("REPRO_SIM_ENGINE", engine)
+            result = run_campaign(
+                CampaignConfig(runs=6, scale=2 ** -7, base_seed=20230423,
+                               collect_metrics=False)
+            )
+            outcomes[engine] = [outcome.summary() for outcome in result.outcomes]
+        assert outcomes["array"] == outcomes["object"]

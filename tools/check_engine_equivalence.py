@@ -1,0 +1,98 @@
+"""Dual-engine equivalence smoke: object vs. array, bit for bit.
+
+Run in CI (and locally after touching ``repro.sim``)::
+
+    python tools/check_engine_equivalence.py
+
+Executes the same work twice — once with ``REPRO_SIM_ENGINE=object``,
+once with ``=array`` — and asserts the results match *bit-exactly*:
+
+* every rotation workload at functional scale: run signature
+  (program name, per-line names, output digest) and total simulated
+  seconds;
+* a 12-seed chaos campaign: every per-run outcome summary.
+
+Exit status 0 when the engines agree everywhere, 1 with a diff
+otherwise.  The engine is chosen when each ``Simulator`` is
+constructed, so flipping the environment variable between phases is
+enough — no subprocesses needed.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+CHAOS_RUNS = 12
+CHAOS_SEED = 20230423
+SCALE = 2 ** -6
+ENGINES = ("object", "array")
+
+
+def run_rotation(engine: str) -> dict:
+    from repro.chaos.invariants import run_signature
+    from repro.config import SystemConfig
+    from repro.runtime.activepy import ActivePy
+    from repro.workloads import get_workload, workload_names
+
+    os.environ["REPRO_SIM_ENGINE"] = engine
+    results = {}
+    for name in workload_names():
+        workload = get_workload(name, scale=SCALE)
+        report = ActivePy(SystemConfig()).run(workload.program, workload.dataset)
+        results[name] = (run_signature(report), report.total_seconds)
+    return results
+
+
+def run_chaos(engine: str) -> list:
+    from repro.chaos import CampaignConfig, run_campaign
+
+    os.environ["REPRO_SIM_ENGINE"] = engine
+    result = run_campaign(
+        CampaignConfig(
+            runs=CHAOS_RUNS,
+            scale=SCALE,
+            base_seed=CHAOS_SEED,
+            collect_metrics=False,
+        )
+    )
+    return [outcome.summary() for outcome in result.outcomes]
+
+
+def diff_keys(label: str, left: dict, right: dict) -> list:
+    problems = []
+    for key in left:
+        if left[key] != right[key]:
+            problems.append(
+                f"{label}[{key}] diverges:\n  object: {left[key]!r}\n  array:  {right[key]!r}"
+            )
+    return problems
+
+
+def main() -> int:
+    rotation = {engine: run_rotation(engine) for engine in ENGINES}
+    chaos = {engine: run_chaos(engine) for engine in ENGINES}
+
+    problems = diff_keys("rotation", rotation["object"], rotation["array"])
+    for index, (obj, arr) in enumerate(zip(chaos["object"], chaos["array"])):
+        if obj != arr:
+            problems.append(
+                f"chaos run {index} diverges:\n  object: {obj!r}\n  array:  {arr!r}"
+            )
+
+    workloads = len(rotation["object"])
+    if problems:
+        print(f"ENGINE EQUIVALENCE FAILED ({len(problems)} divergence(s)):")
+        for problem in problems:
+            print(problem)
+        return 1
+    print(
+        f"engine equivalence OK: {workloads} rotation workload(s) and "
+        f"{CHAOS_RUNS} chaos seed(s) bit-identical under "
+        f"REPRO_SIM_ENGINE=object and =array"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
