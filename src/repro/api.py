@@ -74,7 +74,10 @@ from .fleet import (
     TenantSpec,
     TrafficGenerator,
     default_tenants,
+    percentile,
     run_fleet_campaign,
+    to_fleet_chrome_trace,
+    write_fleet_chrome_trace,
 )
 from .frontend import program_from_function
 from .hw.topology import Machine, build_machine
@@ -83,18 +86,24 @@ from .lang import ProgramBuilder, array_dataset, dataset_of
 from .lang.dataset import Dataset
 from .lang.program import Program, Statement
 from .obs import (
+    AlertEvent,
+    AlertRule,
     AttributionReport,
     Counter,
     CriticalPathReport,
+    FlightRecorder,
     Gauge,
     Histogram,
     MetricsRegistry,
     Observability,
     Span,
     TimeAttributor,
+    TimeSeries,
     Tracer,
     build_attribution_report,
     build_critical_path,
+    evaluate_alerts,
+    sparkline,
     to_chrome_trace,
     trace_span,
     validate_chrome_trace,
@@ -117,6 +126,8 @@ __all__ = [
     "ActivePy",
     "ActivePyReport",
     "AdmissionError",
+    "AlertEvent",
+    "AlertRule",
     "AttributionReport",
     "CLEAN_DIGEST",
     "CampaignConfig",
@@ -149,6 +160,7 @@ __all__ = [
     "FleetConfig",
     "FleetError",
     "FleetReport",
+    "FlightRecorder",
     "GateReport",
     "GatedMetric",
     "Gauge",
@@ -184,6 +196,7 @@ __all__ = [
     "TenantIsolationError",
     "TenantSpec",
     "TimeAttributor",
+    "TimeSeries",
     "TimelineSpan",
     "Tracer",
     "TrafficGenerator",
@@ -201,9 +214,11 @@ __all__ = [
     "default_tenants",
     "dump",
     "dumps",
+    "evaluate_alerts",
     "explain_plan",
     "get_workload",
     "merge_metric_snapshots",
+    "percentile",
     "perf_check",
     "perf_snapshot",
     "program_from_function",
@@ -214,10 +229,13 @@ __all__ = [
     "run_fleet_campaign",
     "run_plan",
     "run_python_baseline",
+    "sparkline",
     "to_chrome_trace",
+    "to_fleet_chrome_trace",
     "to_jsonable",
     "trace_span",
     "validate_chrome_trace",
     "workload_names",
     "write_chrome_trace",
+    "write_fleet_chrome_trace",
 ]

@@ -15,6 +15,9 @@
     python -m repro chaos --workload W --seed S  # replay one seeded run
     python -m repro chaos --fleet [--runs N]   # rack-scale fleet fault campaign
     python -m repro fleet run [--devices N]    # one seeded fleet run
+    python -m repro fleet run --timeline       # ... with the flight recorder
+    python -m repro fleet run --trace-out t.json  # ... exporting a fleet trace
+    python -m repro obs dashboard              # fleet sparkline dashboard
     python -m repro faults list                # catalogue of injectable faults
     python -m repro explain run tpch_q6        # plan vs. reality + critical path
     python -m repro bench                      # wall-clock perf-layer benchmark
@@ -299,8 +302,35 @@ def _cmd_fleet_run(args) -> int:
         scale=args.scale,
         plan=FaultPlan(specs=tuple(specs), seed=args.seed),
     )
-    report = Fleet(config).run()
+    timeline = getattr(args, "timeline", False)
+    trace_out = getattr(args, "trace_out", None)
+    obs = None
+    if timeline or trace_out is not None:
+        if args.window <= 0:
+            print(f"repro fleet: error: --window must be positive, "
+                  f"got {args.window}", file=sys.stderr)
+            return 2
+        obs = Observability.with_timeseries(window_s=args.window)
+    report = Fleet(config, obs=obs).run()
     print(report.render())
+    if timeline and obs is not None:
+        print()
+        print(f"timeline (window {obs.timeseries.window_s:g}s simulated, "
+              f"one sparkline per series):")
+        print(obs.timeseries.render())
+    if trace_out is not None:
+        from .fleet import write_fleet_chrome_trace
+        from .obs import validate_chrome_trace
+
+        trace = write_fleet_chrome_trace(report, trace_out)
+        problems = validate_chrome_trace(trace)
+        if problems:
+            for problem in problems:
+                print(f"repro fleet: invalid trace: {problem}",
+                      file=sys.stderr)
+            return 1
+        print(f"wrote {trace_out} ({len(trace['traceEvents'])} event(s)) — "
+              f"validates clean")
     if args.json:
         export.dump(report, args.json)
         print(f"wrote {args.json}")
@@ -724,31 +754,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="run one seeded fleet: open-loop traffic through admission "
              "control onto N devices, with per-tenant SLO percentiles",
     )
-    fleet_run.add_argument("--devices", type=int, default=4, metavar="N")
-    fleet_run.add_argument("--tenants", type=int, default=3, metavar="N")
-    fleet_run.add_argument("--jobs", type=int, default=24, metavar="N")
-    fleet_run.add_argument("--seed", type=int, default=0)
+    def add_fleet_args(parser) -> None:
+        parser.add_argument("--devices", type=int, default=4, metavar="N")
+        parser.add_argument("--tenants", type=int, default=3, metavar="N")
+        parser.add_argument("--jobs", type=int, default=24, metavar="N")
+        parser.add_argument("--seed", type=int, default=0)
+        parser.add_argument(
+            "--target-load", type=float, default=0.7,
+            help="offered load as a fraction of fleet service capacity "
+                 "(default: 0.7; push past 1.0 to watch graceful degradation)",
+        )
+        parser.add_argument("--scale", type=float, default=2**-6)
+        parser.add_argument(
+            "--lose-device", default=None, metavar="NAME",
+            help="inject one DEVICE_LOST_MID_JOB against this device "
+                 "(csd, csd1, ...)",
+        )
+        parser.add_argument(
+            "--lose-at", type=float, default=0.5, metavar="T",
+            help="simulated time of the injected device loss (default: 0.5)",
+        )
+        parser.add_argument(
+            "--rejoin-after", type=float, default=0.0, metavar="S",
+            help="window after which the lost device rejoins (0 = never)",
+        )
+        parser.add_argument(
+            "--window", type=float, default=0.25, metavar="S",
+            help="flight-recorder rate/percentile window in simulated "
+                 "seconds (default: 0.25)",
+        )
+        parser.add_argument(
+            "--trace-out", metavar="PATH", default=None,
+            help="also export the fleet Chrome trace (jobs as spans per "
+                 "device track, failover/shed/loss as instants)",
+        )
+        parser.add_argument("--json", metavar="PATH", default=None)
+
+    add_fleet_args(fleet_run)
     fleet_run.add_argument(
-        "--target-load", type=float, default=0.7,
-        help="offered load as a fraction of fleet service capacity "
-             "(default: 0.7; push past 1.0 to watch graceful degradation)",
+        "--timeline", action="store_true",
+        help="attach the flight recorder and print the ASCII sparkline "
+             "timeline (utilization, queue depth, sliding-window SLOs, "
+             "alerts)",
     )
-    fleet_run.add_argument("--scale", type=float, default=2**-6)
-    fleet_run.add_argument(
-        "--lose-device", default=None, metavar="NAME",
-        help="inject one DEVICE_LOST_MID_JOB against this device "
-             "(csd, csd1, ...)",
-    )
-    fleet_run.add_argument(
-        "--lose-at", type=float, default=0.5, metavar="T",
-        help="simulated time of the injected device loss (default: 0.5)",
-    )
-    fleet_run.add_argument(
-        "--rejoin-after", type=float, default=0.0, metavar="S",
-        help="window after which the lost device rejoins (0 = never)",
-    )
-    fleet_run.add_argument("--json", metavar="PATH", default=None)
     fleet_run.set_defaults(fn=_cmd_fleet_run)
+
+    obs_parser = sub.add_parser(
+        "obs", help="observability: the fleet flight-recorder dashboard"
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    obs_dashboard = obs_sub.add_parser(
+        "dashboard",
+        help="run one seeded fleet with the flight recorder attached and "
+             "render the sparkline dashboard (timeline always on)",
+    )
+    add_fleet_args(obs_dashboard)
+    obs_dashboard.set_defaults(fn=_cmd_fleet_run, timeline=True)
 
     faults_parser = sub.add_parser(
         "faults", help="the deterministic fault-injection catalogue"

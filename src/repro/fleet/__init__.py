@@ -39,7 +39,9 @@ from .chaos import (
     run_fleet_campaign,
 )
 from .fleet import (
+    DEFAULT_ALERT_CONSECUTIVE,
     DEFAULT_FLEET_SCALE,
+    DEFAULT_SLO_MULTIPLE,
     Fleet,
     FleetConfig,
     FleetReport,
@@ -48,6 +50,7 @@ from .fleet import (
 )
 from .profiles import JobProfile, ProfileStore
 from .slo import SloSnapshot, percentile
+from .trace import to_fleet_chrome_trace, write_fleet_chrome_trace
 from .traffic import (
     DEFAULT_FLEET_WORKLOADS,
     JobArrival,
@@ -58,8 +61,10 @@ from .traffic import (
 
 __all__ = [
     "AdmissionController",
+    "DEFAULT_ALERT_CONSECUTIVE",
     "DEFAULT_FLEET_SCALE",
     "DEFAULT_FLEET_WORKLOADS",
+    "DEFAULT_SLO_MULTIPLE",
     "Fleet",
     "FleetCampaignConfig",
     "FleetCampaignResult",
@@ -90,4 +95,6 @@ __all__ = [
     "raise_for_violations",
     "random_fleet_plan",
     "run_fleet_campaign",
+    "to_fleet_chrome_trace",
+    "write_fleet_chrome_trace",
 ]

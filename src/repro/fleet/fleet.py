@@ -44,7 +44,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..config import DEFAULT_CONFIG, SystemConfig
 from ..errors import AdmissionError, FleetError
 from ..faults.spec import FLEET_KINDS, FaultKind, FaultPlan, FaultSpec
-from ..obs import Observability
+from ..obs import AlertEvent, AlertRule, Observability, evaluate_alerts
 from .admission import (
     SHED_NO_DEVICES,
     SHED_OVERLOAD,
@@ -59,7 +59,10 @@ from .slo import SloSnapshot
 from .traffic import JobArrival, TenantSpec, TrafficGenerator, default_tenants
 
 __all__ = [
+    "DEFAULT_ALERT_CONSECUTIVE",
     "DEFAULT_FLEET_SCALE",
+    "DEFAULT_SLO_MULTIPLE",
+    "SLO_ERROR_BUDGET",
     "FleetConfig",
     "FleetReport",
     "Fleet",
@@ -75,6 +78,22 @@ DEFAULT_FLEET_SCALE = 2 ** -6
 STATUS_COMPLETED = "completed"
 STATUS_DEGRADED = "degraded"
 STATUS_SHED = "shed"
+
+#: Default end-to-end SLO target, as a multiple of the tenant's slowest
+#: baseline service time.  A clean, un-overloaded fleet keeps queue
+#: waits well under one service time, so the sliding-window p99 stays
+#: below this; sustained breaches mean real contention (a lost device,
+#: a hot tenant), which is exactly what the default alert rules watch.
+DEFAULT_SLO_MULTIPLE = 3.0
+
+#: Consecutive breaching points before the default SLO alert fires.
+DEFAULT_ALERT_CONSECUTIVE = 4
+
+#: The SLO error budget the burn-rate series is normalised against: a
+#: p99 target tolerates 1% of samples over it, so ``burn = fraction
+#: over target / 0.01`` — burn > 1.0 means the budget is being spent
+#: faster than it accrues.
+SLO_ERROR_BUDGET = 0.01
 
 
 def device_names(count: int) -> Tuple[str, ...]:
@@ -252,6 +271,18 @@ class FleetReport:
     #: Inner ActivePy runs actually executed (profile cache misses).
     profile_runs: int
     metrics: Dict[str, Any] = field(default_factory=dict, repr=False)
+    #: Flight-recorder dump (``FlightRecorder.to_jsonable()``) when the
+    #: run carried one; empty otherwise.
+    timeline: Dict[str, Any] = field(default_factory=dict, repr=False)
+    #: Alerts the default SLO rules raised over the recorded series.
+    alerts: Tuple[AlertEvent, ...] = ()
+    #: Per-tenant end-to-end SLO targets the alerts were judged against.
+    slo_targets: Dict[str, float] = field(default_factory=dict, repr=False)
+    #: Chrome-trace raw material, collected only when a recorder or
+    #: tracer was attached: completed/interrupted dispatches as spans
+    #: and failover/retry/shed/device-loss moments as instants.
+    trace_spans: Tuple[Dict[str, Any], ...] = field(default=(), repr=False)
+    trace_instants: Tuple[Dict[str, Any], ...] = field(default=(), repr=False)
 
     @property
     def completed(self) -> int:
@@ -295,6 +326,12 @@ class FleetReport:
         payload["device_events"] = [list(e) for e in self.device_events]
         if self.metrics:
             payload["metrics"] = self.metrics
+        if self.timeline:
+            payload["timeline"] = self.timeline
+        if self.alerts:
+            payload["alerts"] = [a.to_jsonable() for a in self.alerts]
+        if self.slo_targets:
+            payload["slo_targets"] = dict(sorted(self.slo_targets.items()))
         return payload
 
     def render(self) -> str:
@@ -313,6 +350,8 @@ class FleetReport:
             lines.append(f"  device    t={at_time:.3f}s {device} {what}")
         for snapshot in self.slos:
             lines.append("  " + snapshot.render())
+        for alert in self.alerts:
+            lines.append("  " + alert.render())
         return "\n".join(lines)
 
 
@@ -392,6 +431,48 @@ class Fleet:
             resolved.append(tenant)
         return tuple(resolved)
 
+    # --- SLO targets and alert rules ----------------------------------------
+
+    def slo_targets(
+        self, tenants: Tuple[TenantSpec, ...]
+    ) -> Dict[str, float]:
+        """Each tenant's end-to-end SLO target, in simulated seconds.
+
+        An explicit ``TenantSpec.slo_e2e_s`` wins; otherwise the target
+        is :data:`DEFAULT_SLO_MULTIPLE` times the tenant's slowest
+        measured baseline service time — generous enough that a healthy
+        fleet never breaches it, tight enough that losing a device under
+        load does.
+        """
+        targets: Dict[str, float] = {}
+        for tenant in tenants:
+            if tenant.slo_e2e_s is not None:
+                targets[tenant.name] = tenant.slo_e2e_s
+            else:
+                slowest = max(
+                    self.profiles.baseline(workload).service_seconds
+                    for workload in tenant.workloads
+                )
+                targets[tenant.name] = DEFAULT_SLO_MULTIPLE * slowest
+        return targets
+
+    def alert_rules(
+        self,
+        tenants: Tuple[TenantSpec, ...],
+        targets: Dict[str, float],
+    ) -> Tuple[AlertRule, ...]:
+        """The default rule set: one sliding-window p99 rule per tenant."""
+        return tuple(
+            AlertRule(
+                name=f"slo-burn:{tenant.name}",
+                series=f"fleet.slo_window.{tenant.name}.e2e_p99_s",
+                threshold=targets[tenant.name],
+                op=">",
+                consecutive=DEFAULT_ALERT_CONSECUTIVE,
+            )
+            for tenant in tenants
+        )
+
     # --- the event loop -----------------------------------------------------
 
     def run(self) -> FleetReport:
@@ -402,6 +483,17 @@ class Fleet:
         controller = AdmissionController(tenants, overload_watermark=cfg.watermark)
         devices = {name: _Device(name) for name in device_names(cfg.device_count)}
         backoff_rng = random.Random(f"fleet-backoff:{cfg.seed}")
+
+        # The flight recorder, when one is attached.  `rec is None` is
+        # the default fast path: every instrumented site below guards on
+        # it, so a recorder-less run does zero extra wall work — and no
+        # site ever touches simulated time, so enabling the recorder
+        # leaves the schedule bit-identical (bench_obs pins both).
+        rec = self.obs.timeseries if self.obs.enabled else None
+        targets = self.slo_targets(tenants) if rec is not None else {}
+        collect_trace = rec is not None or self.obs.tracing
+        trace_spans: List[Dict[str, Any]] = []
+        trace_instants: List[Dict[str, Any]] = []
 
         outcomes: Dict[int, JobOutcome] = {}
         device_events: List[Tuple[float, str, str]] = []
@@ -441,10 +533,36 @@ class Fleet:
             self.obs.count(f"fleet.jobs.{outcome.status}")
             if outcome.status == STATUS_SHED:
                 self.obs.count(f"fleet.shed.{outcome.reason}")
+                if rec is not None:
+                    rec.count("fleet.rate.shed", now)
+                if collect_trace:
+                    trace_instants.append({
+                        "t": now,
+                        "name": f"shed job {outcome.job_id} [{outcome.reason}]",
+                        "resource": "fleet",
+                    })
             else:
                 self.obs.observe("fleet.end_to_end_s", outcome.end_to_end_s)
                 if outcome.queue_wait_s is not None:
                     self.obs.observe("fleet.queue_wait_s", outcome.queue_wait_s)
+                if rec is not None:
+                    tenant = outcome.tenant
+                    rec.count("fleet.rate.finished", now)
+                    rec.observe(f"fleet.e2e.{tenant}", now, outcome.end_to_end_s)
+                    rec.gauge(
+                        f"fleet.slo_window.{tenant}.e2e_p50_s", now,
+                        rec.window_percentile(f"fleet.e2e.{tenant}", 50.0, now),
+                    )
+                    rec.gauge(
+                        f"fleet.slo_window.{tenant}.e2e_p99_s", now,
+                        rec.window_percentile(f"fleet.e2e.{tenant}", 99.0, now),
+                    )
+                    window = rec.window_values(f"fleet.e2e.{tenant}", now)
+                    over = sum(1 for v in window if v > targets[tenant])
+                    rec.gauge(
+                        f"fleet.burn.{tenant}", now,
+                        (over / len(window)) / SLO_ERROR_BUDGET,
+                    )
 
         def shed(job: QueuedJob, reason: str, error: Exception) -> None:
             arrival = job.arrival
@@ -504,6 +622,8 @@ class Fleet:
                     0.0, profile.service_seconds - job.resume_offset_s
                 )
                 self.obs.count("fleet.dispatches")
+                if rec is not None:
+                    rec.gauge(f"fleet.util.{device.name}", now, 1.0)
                 push(
                     now + remaining,
                     "job-done",
@@ -539,12 +659,13 @@ class Fleet:
                 or (tainted_by is not None and cfg.no_isolation
                     and tainted_by != arrival.tenant)
             )
+            status = STATUS_DEGRADED if degraded else STATUS_COMPLETED
             record(JobOutcome(
                 job_id=arrival.job_id,
                 tenant=arrival.tenant,
                 workload=arrival.workload,
                 priority=arrival.priority,
-                status=STATUS_DEGRADED if degraded else STATUS_COMPLETED,
+                status=status,
                 arrival_time=arrival.arrival_time,
                 finish_time=now,
                 admitted=True,
@@ -555,11 +676,47 @@ class Fleet:
                 inner_faults=len(inner_plan) if inner_plan else 0,
                 signature=signature,
             ))
+            if rec is not None:
+                rec.gauge(f"fleet.util.{device.name}", now, 0.0)
+            if collect_trace:
+                trace_spans.append({
+                    "device": device.name,
+                    "name": f"{arrival.workload}#{arrival.job_id}",
+                    "cat": "job",
+                    "start": device.dispatched_at,
+                    "end": now,
+                    "args": {
+                        "tenant": arrival.tenant,
+                        "status": status,
+                        "retries": job.retries,
+                        "resumed_from_s": job.resume_offset_s,
+                    },
+                })
             device.job = None
 
         def fail_over(device: _Device) -> None:
             job = device.job
             assert job is not None
+            if collect_trace:
+                trace_spans.append({
+                    "device": device.name,
+                    "name": (
+                        f"{job.arrival.workload}#{job.arrival.job_id} "
+                        f"(interrupted)"
+                    ),
+                    "cat": "job-interrupted",
+                    "start": device.dispatched_at,
+                    "end": now,
+                    "args": {
+                        "tenant": job.arrival.tenant,
+                        "retry": job.retries + 1,
+                    },
+                })
+                trace_instants.append({
+                    "t": now,
+                    "name": f"failover job {job.arrival.job_id}",
+                    "resource": device.name,
+                })
             device.job = None
             # Invalidate the in-flight completion: if this device later
             # rejoins, its pre-loss "job-done" event must stay stale.
@@ -592,6 +749,8 @@ class Fleet:
             if kind == "arrival":
                 arrival: JobArrival = payload
                 self.obs.count("fleet.jobs.arrived")
+                if rec is not None:
+                    rec.count("fleet.rate.arrived", now)
                 reason = controller.admit(arrival, now)
                 if reason is not None:
                     record(JobOutcome(
@@ -608,6 +767,8 @@ class Fleet:
                     ))
                 else:
                     self.obs.count("fleet.jobs.admitted")
+                    if rec is not None:
+                        rec.count("fleet.rate.admitted", now)
                     for victim in controller.shed_overload():
                         shed(victim, SHED_OVERLOAD, AdmissionError(
                             f"fleet backlog exceeded the overload watermark "
@@ -629,6 +790,13 @@ class Fleet:
                 device.live = False
                 device_events.append((now, spec.target, "lost"))
                 self.obs.count("fleet.device_lost")
+                if rec is not None:
+                    rec.gauge(f"fleet.util.{spec.target}", now, 0.0)
+                if collect_trace:
+                    trace_instants.append({
+                        "t": now, "name": "device lost",
+                        "resource": spec.target,
+                    })
                 if device.job is not None:
                     fail_over(device)
             elif kind == "device-rejoin":
@@ -640,13 +808,30 @@ class Fleet:
                 device.residue = None  # a rejoin is a clean boot
                 device_events.append((now, spec.target, "rejoined"))
                 self.obs.count("fleet.device_rejoined")
+                if collect_trace:
+                    trace_instants.append({
+                        "t": now, "name": "device rejoined",
+                        "resource": spec.target,
+                    })
                 dispatch_all()
             elif kind == "retry-ready":
                 job: QueuedJob = payload
                 controller.requeue(job)
+                if rec is not None:
+                    rec.count("fleet.rate.retries", now)
+                if collect_trace:
+                    trace_instants.append({
+                        "t": now,
+                        "name": f"retry job {job.arrival.job_id}",
+                        "resource": "fleet",
+                    })
                 dispatch_all()
             else:  # pragma: no cover - defensive
                 raise FleetError(f"unknown fleet event kind {kind!r}")
+            if rec is not None:
+                rec.gauge(
+                    "fleet.queue_depth", now, float(controller.total_queued)
+                )
 
         # The heap is dry.  Anything still queued can never run (no
         # live device will ever free up or rejoin) — shed it loudly so
@@ -657,8 +842,21 @@ class Fleet:
                 f"remains to run it"
             ))
 
-        return self._build_report(tenants, arrivals, outcomes,
-                                  device_events, now)
+        alerts: Tuple[AlertEvent, ...] = ()
+        if rec is not None:
+            rec.finalize(now)
+            alerts = evaluate_alerts(rec, self.alert_rules(tenants, targets))
+            # Counters land before _build_report snapshots the registry.
+            for event in alerts:
+                self.obs.count("obs.alerts.fired")
+                self.obs.count(f"obs.alerts.{event.rule}")
+
+        return self._build_report(
+            tenants, arrivals, outcomes, device_events, now,
+            recorder=rec, alerts=alerts, targets=targets,
+            trace_spans=tuple(trace_spans),
+            trace_instants=tuple(trace_instants),
+        )
 
     # --- reporting ----------------------------------------------------------
 
@@ -669,6 +867,11 @@ class Fleet:
         outcomes: Dict[int, JobOutcome],
         device_events: List[Tuple[float, str, str]],
         end_time: float,
+        recorder=None,
+        alerts: Tuple[AlertEvent, ...] = (),
+        targets: Optional[Dict[str, float]] = None,
+        trace_spans: Tuple[Dict[str, Any], ...] = (),
+        trace_instants: Tuple[Dict[str, Any], ...] = (),
     ) -> FleetReport:
         missing = [a.job_id for a in arrivals if a.job_id not in outcomes]
         if missing:
@@ -729,4 +932,9 @@ class Fleet:
             device_events=tuple(device_events),
             profile_runs=self.profiles.runs,
             metrics=self.obs.snapshot() if self.obs.enabled else {},
+            timeline=recorder.to_jsonable() if recorder is not None else {},
+            alerts=alerts,
+            slo_targets=dict(targets) if targets else {},
+            trace_spans=trace_spans,
+            trace_instants=trace_instants,
         )

@@ -1,0 +1,104 @@
+"""Fleet Chrome-trace export: one Perfetto track per CSD.
+
+A fleet run that carried a flight recorder (or a tracer) collects raw
+trace material on its :class:`~repro.fleet.fleet.FleetReport` — every
+dispatch that reached a terminal point becomes a duration span on its
+device's track (completed/degraded jobs as ``job``, dispatches cut
+short by device loss as ``job-interrupted``), and the scheduling
+moments that explain the gaps — failover, retry, shed, device loss and
+rejoin — become instant events.  :func:`to_fleet_chrome_trace` renders
+all of it in the same ``trace_event`` subset
+:func:`repro.obs.export.validate_chrome_trace` checks, so the fleet
+timeline loads in ``chrome://tracing``/Perfetto next to single-machine
+traces.
+
+Track order is deterministic: devices sorted by name, then the
+synthetic ``fleet`` track for fleet-scoped instants (sheds, retries).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from ..errors import FleetError
+
+__all__ = [
+    "to_fleet_chrome_trace",
+    "write_fleet_chrome_trace",
+]
+
+#: The whole fleet is one tracing process; devices are its threads.
+_PID = 1
+
+_US = 1e6  # trace_event timestamps are microseconds
+
+
+def to_fleet_chrome_trace(report) -> Dict[str, object]:
+    """Render a :class:`FleetReport`'s trace material as trace_event JSON.
+
+    Raises :class:`FleetError` when the report carries no trace
+    material — i.e. the run had neither a flight recorder nor a tracer
+    attached, so there is nothing to export.
+    """
+    if not report.trace_spans and not report.trace_instants:
+        raise FleetError(
+            "this fleet report carries no trace material; run the fleet "
+            "with Observability.with_timeseries() (or with_tracing()) "
+            "to collect spans"
+        )
+    resources: List[str] = sorted(
+        ({span["device"] for span in report.trace_spans}
+         | {instant["resource"] for instant in report.trace_instants})
+        - {"fleet"}
+    )
+    resources.append("fleet")
+    tids = {resource: index + 1 for index, resource in enumerate(resources)}
+    events: List[Dict[str, object]] = []
+    for resource in resources:
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": tids[resource],
+            "args": {"name": resource},
+        })
+    for span in report.trace_spans:
+        events.append({
+            "name": str(span["name"]),
+            "cat": str(span["cat"]),
+            "ph": "X",
+            "ts": float(span["start"]) * _US,
+            "dur": (float(span["end"]) - float(span["start"])) * _US,
+            "pid": _PID,
+            "tid": tids[span["device"]],
+            "args": dict(span["args"]),
+        })
+    for instant in report.trace_instants:
+        events.append({
+            "name": str(instant["name"]),
+            "cat": "fleet-event",
+            "ph": "i",
+            "s": "t",
+            "ts": float(instant["t"]) * _US,
+            "pid": _PID,
+            "tid": tids[instant["resource"]],
+            "args": {},
+        })
+    # Chronological order within the file keeps diffs stable and makes
+    # the raw JSON readable as a log; viewers re-sort anyway.
+    events.sort(key=lambda event: (event.get("ts", -1.0), event["tid"]))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated", "time_unit_source": "seconds"},
+    }
+
+
+def write_fleet_chrome_trace(report, path: str) -> Dict[str, object]:
+    """Export a fleet report's trace to ``path``; returns the object."""
+    trace = to_fleet_chrome_trace(report)
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(trace, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    return trace

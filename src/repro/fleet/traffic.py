@@ -65,6 +65,11 @@ class TenantSpec:
     queue_limit: int = 16
     #: The workload rotation this tenant's users submit.
     workloads: Tuple[str, ...] = DEFAULT_FLEET_WORKLOADS
+    #: End-to-end latency SLO target (simulated seconds) the flight
+    #: recorder's sliding-window p99 is alerted against.  ``None`` =
+    #: derive from the measured baseline service times (see
+    #: :meth:`repro.fleet.fleet.Fleet.slo_targets`).
+    slo_e2e_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -95,6 +100,11 @@ class TenantSpec:
             )
         if not self.workloads:
             raise FleetError(f"tenant {self.name!r}: workloads must not be empty")
+        if self.slo_e2e_s is not None and self.slo_e2e_s <= 0:
+            raise FleetError(
+                f"tenant {self.name!r}: slo_e2e_s must be positive, "
+                f"got {self.slo_e2e_s}"
+            )
 
 
 def default_tenants(count: int = 3) -> Tuple[TenantSpec, ...]:

@@ -52,9 +52,19 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .timeseries import (
+    AlertEvent,
+    AlertRule,
+    FlightRecorder,
+    TimeSeries,
+    evaluate_alerts,
+    sparkline,
+)
 from .tracer import Span, Tracer
 
 __all__ = [
+    "AlertEvent",
+    "AlertRule",
     "AttributedSegment",
     "AttributionReport",
     "COMPONENTS",
@@ -62,15 +72,19 @@ __all__ = [
     "CriticalPathReport",
     "CriticalPathStep",
     "DEFAULT_TIME_BUCKETS_S",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Observability",
     "Span",
     "TimeAttributor",
+    "TimeSeries",
     "Tracer",
     "build_attribution_report",
     "build_critical_path",
+    "evaluate_alerts",
+    "sparkline",
     "to_chrome_trace",
     "trace_span",
     "validate_chrome_trace",
@@ -93,11 +107,13 @@ class Observability:
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         attribution: Optional[TimeAttributor] = None,
+        timeseries: Optional[FlightRecorder] = None,
     ) -> None:
         self.enabled = enabled
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer
         self.attribution = attribution
+        self.timeseries = timeseries
         self.clock = None  # bound by build_machine to the sim clock
 
     # --- constructors ------------------------------------------------------
@@ -125,12 +141,40 @@ class Observability:
             attribution=TimeAttributor(),
         )
 
+    @classmethod
+    def with_timeseries(
+        cls,
+        window_s: float = 0.25,
+        capacity: int = 4096,
+        sample_horizon_s: Optional[float] = None,
+        tracing: bool = False,
+    ) -> "Observability":
+        """An enabled handle carrying a flight recorder.
+
+        ``window_s`` is the rate-bucketing / percentile granularity of
+        the attached :class:`~repro.obs.timeseries.FlightRecorder`.
+        """
+        return cls(
+            enabled=True,
+            tracer=Tracer() if tracing else None,
+            timeseries=FlightRecorder(
+                window_s=window_s,
+                capacity=capacity,
+                sample_horizon_s=sample_horizon_s,
+            ),
+        )
+
     # --- state -------------------------------------------------------------
 
     @property
     def tracing(self) -> bool:
         """True when spans should be recorded."""
         return self.enabled and self.tracer is not None
+
+    @property
+    def recording(self) -> bool:
+        """True when a flight recorder is attached and live."""
+        return self.enabled and self.timeseries is not None
 
     @property
     def attributing(self) -> bool:
@@ -153,6 +197,12 @@ class Observability:
             self.tracer = Tracer()
         return self.tracer
 
+    def ensure_timeseries(self, window_s: float = 0.25) -> FlightRecorder:
+        """Attach (and return) a flight recorder if none is present."""
+        if self.timeseries is None:
+            self.timeseries = FlightRecorder(window_s=window_s)
+        return self.timeseries
+
     def adopt(self, other: "Observability") -> None:
         """Redirect this handle's sinks to another handle's.
 
@@ -167,6 +217,7 @@ class Observability:
         self.metrics = other.metrics
         self.tracer = other.tracer
         self.attribution = other.attribution
+        self.timeseries = other.timeseries
         if other.clock is None:
             other.clock = self.clock
         if self.clock is not None:
@@ -187,6 +238,21 @@ class Observability:
     def observe(self, name: str, value: float) -> None:
         if self.enabled:
             self.metrics.histogram(name).observe(value)
+
+    def ts_gauge(self, name: str, t: float, value: float) -> None:
+        """Record a flight-recorder gauge point; no-op with no recorder."""
+        if self.enabled and self.timeseries is not None:
+            self.timeseries.gauge(name, t, value)
+
+    def ts_count(self, name: str, t: float, amount: float = 1.0) -> None:
+        """Add to a flight-recorder rate window; no-op with no recorder."""
+        if self.enabled and self.timeseries is not None:
+            self.timeseries.count(name, t, amount)
+
+    def ts_observe(self, name: str, t: float, value: float) -> None:
+        """Record a flight-recorder sample; no-op with no recorder."""
+        if self.enabled and self.timeseries is not None:
+            self.timeseries.observe(name, t, value)
 
     def record_span(
         self,

@@ -91,8 +91,10 @@ def to_chrome_trace(spans: Iterable[object]) -> Dict[str, object]:
 def validate_chrome_trace(obj: object) -> List[str]:
     """Check an object against the trace_event subset we emit.
 
-    Returns a list of problems — empty means the trace is well-formed
-    and will load in ``chrome://tracing``/Perfetto.
+    Accepts "X" (duration), "M" (metadata), and "i" (instant) phases —
+    the fleet trace exporter marks failover/shed/device-loss moments as
+    instants.  Returns a list of problems — empty means the trace is
+    well-formed and will load in ``chrome://tracing``/Perfetto.
     """
     problems: List[str] = []
     if not isinstance(obj, dict):
@@ -106,12 +108,21 @@ def validate_chrome_trace(obj: object) -> List[str]:
             problems.append(f"{where} must be an object")
             continue
         ph = event.get("ph")
-        if ph not in ("X", "M"):
+        if ph not in ("X", "M", "i"):
             problems.append(f"{where} has unsupported phase {ph!r}")
             continue
         for key in ("name", "pid", "tid"):
             if key not in event:
                 problems.append(f"{where} is missing {key!r}")
+        if ph == "i":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)):
+                problems.append(f"{where} ts must be a number")
+            elif ts < 0:
+                problems.append(f"{where} has negative ts")
+            scope = event.get("s", "t")
+            if scope not in ("g", "p", "t"):
+                problems.append(f"{where} has invalid instant scope {scope!r}")
         if ph == "X":
             for key in ("ts", "dur", "cat"):
                 if key not in event:

@@ -101,6 +101,16 @@ class Histogram:
         self.count = 0
 
     def observe(self, value: float) -> None:
+        """Tally ``value`` into its bucket.
+
+        The boundary convention is **inclusive upper bounds** (``<=``),
+        Prometheus-style: a value exactly equal to ``buckets[i]`` lands
+        in bucket ``i``, and only values strictly greater spill into
+        bucket ``i + 1``.  ``bisect_left`` implements exactly this —
+        for ``value == buckets[i]`` it returns ``i`` — and a hypothesis
+        test over boundary values pins the convention so it cannot
+        silently flip to ``<``.
+        """
         if not math.isfinite(value):
             raise ObservabilityError(
                 f"histogram {self.name!r} observation must be finite, got {value}"
@@ -194,6 +204,27 @@ class MetricsRegistry:
                 for name in sorted(self._histograms)
             },
         }
+
+    def as_jsonable(self) -> List[Dict[str, object]]:
+        """Every instrument as one flat, sorted-by-name series list.
+
+        Unlike :meth:`snapshot` (three kind-keyed maps), this is the
+        diff-friendly form: one entry per instrument, ``name``/``kind``
+        /``value`` (histograms carry their full bucket state under
+        ``value``), emitted in sorted-name order across *all* kinds so
+        two runs' snapshots line up row-for-row under ``diff``.
+        """
+        series: List[Dict[str, object]] = []
+        for name, counter in self._counters.items():
+            series.append({"name": name, "kind": "counter", "value": counter.value})
+        for name, gauge in self._gauges.items():
+            series.append({"name": name, "kind": "gauge", "value": gauge.value})
+        for name, histogram in self._histograms.items():
+            series.append({
+                "name": name, "kind": "histogram", "value": histogram.to_jsonable(),
+            })
+        series.sort(key=lambda entry: entry["name"])
+        return series
 
     def render(self) -> str:
         """Plain-text dump, one instrument per line, sorted by name."""

@@ -98,6 +98,11 @@ GATED_METRICS: Dict[str, Tuple[GatedMetric, ...]] = {
         GatedMetric("disabled_sim_overhead_seconds", "both"),
         GatedMetric("attribution.identity_residual", "both"),
         GatedMetric("attribution.sim_overhead_seconds", "both"),
+        # The flight recorder's zero-simulated-overhead contract: a
+        # 4-CSD fleet run with the recorder attached reports the same
+        # makespan, bit for bit, as one without.
+        GatedMetric("timeseries.recorder_sim_overhead_seconds", "both"),
+        GatedMetric("timeseries.makespan_s", "both"),
     ),
     "faults": (
         GatedMetric("no_fault_overhead.overhead_fraction", "both"),

@@ -160,3 +160,50 @@ class TestSloSnapshot:
         )
         assert snapshot.queue_wait_p99_s == 0.0
         assert snapshot.end_to_end_p99_s == 0.0
+
+    def test_single_sample_is_every_percentile(self):
+        snapshot = SloSnapshot.from_samples(
+            tenant="t", priority=1, arrived=1, admitted=1,
+            completed=1, degraded=0, shed=0,
+            queue_waits=[0.125], end_to_ends=[1.5],
+        )
+        assert snapshot.queue_wait_p50_s == 0.125
+        assert snapshot.queue_wait_p99_s == 0.125
+        assert snapshot.end_to_end_p50_s == 1.5
+        assert snapshot.end_to_end_p99_s == 1.5
+
+    def test_window_percentile_matches_snapshot_edge_conventions(self):
+        """The flight recorder's sliding window uses the same 0- and
+        1-sample conventions as the whole-run SloSnapshot."""
+        from repro.obs import FlightRecorder
+
+        recorder = FlightRecorder(sample_horizon_s=10.0)
+        recorder.observe("lat", 0.0, 1.5)
+        # One sample in the window: it is every percentile.
+        for q in (0.0, 50.0, 99.0, 100.0):
+            assert recorder.window_percentile("lat", q, 0.0) == 1.5
+        # Zero samples in the horizon: 0.0, same as the empty snapshot.
+        assert recorder.window_percentile("lat", 99.0, 100.0) == 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        samples=st.lists(
+            st.floats(min_value=0.0, max_value=1e3,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=80,
+        ),
+        q=st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_sliding_window_agrees_with_whole_run(self, samples, q):
+        """With a horizon covering every sample, a sliding-window
+        percentile equals the whole-run percentile exactly — a uniform
+        workload's live dashboard converges on the final SLO report."""
+        from repro.obs import FlightRecorder
+
+        recorder = FlightRecorder(sample_horizon_s=float(len(samples) + 1))
+        for i, value in enumerate(samples):
+            recorder.observe("e2e", float(i), value)
+        now = float(len(samples) - 1)
+        assert recorder.window_percentile("e2e", q, now) == percentile(
+            samples, q
+        )

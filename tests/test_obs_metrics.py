@@ -67,6 +67,52 @@ class TestHistogram:
         assert histogram.buckets == DEFAULT_TIME_BUCKETS_S
         assert histogram.buckets[0] <= 1e-6 and histogram.buckets[-1] >= 100.0
 
+    @settings(max_examples=200, deadline=None)
+    @given(
+        bucket_index=st.integers(min_value=0,
+                                 max_value=len(DEFAULT_TIME_BUCKETS_S) - 1),
+    )
+    def test_boundary_values_bucket_inclusively(self, bucket_index):
+        """The documented <= convention: a value exactly on a bucket
+        boundary lands in that bucket, and the next representable float
+        above it spills into the following one."""
+        boundary = DEFAULT_TIME_BUCKETS_S[bucket_index]
+
+        exact = Histogram("exact")
+        exact.observe(boundary)
+        assert exact.counts[bucket_index] == 1
+        assert sum(exact.counts) == 1
+
+        above = Histogram("above")
+        above.observe(math.nextafter(boundary, math.inf))
+        assert above.counts[bucket_index] == 0
+        assert above.counts[bucket_index + 1] == 1
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        bounds=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=8, unique=True,
+        ),
+        value=st.floats(min_value=-1e6, max_value=1e6,
+                        allow_nan=False, allow_infinity=False),
+    )
+    def test_bucket_choice_is_the_first_inclusive_upper_bound(
+        self, bounds, value
+    ):
+        """For arbitrary bucket vectors the chosen index is always the
+        first i with value <= buckets[i] (overflow otherwise)."""
+        buckets = tuple(sorted(bounds))
+        histogram = Histogram("h", buckets=buckets)
+        histogram.observe(value)
+        expected = next(
+            (i for i, bound in enumerate(buckets) if value <= bound),
+            len(buckets),
+        )
+        assert histogram.counts[expected] == 1
+        assert sum(histogram.counts) == 1
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_instrument(self):
@@ -99,6 +145,30 @@ class TestRegistry:
         assert "no metrics" in registry.render()
         registry.counter("hits").inc(3)
         assert "hits" in registry.render()
+
+    def test_as_jsonable_is_sorted_across_kinds(self):
+        """One flat series list, sorted by name regardless of kind or
+        registration order, so two runs' snapshots diff cleanly."""
+        registry = MetricsRegistry()
+        registry.histogram("zz").observe(1.0)
+        registry.counter("mm").inc(4)
+        registry.gauge("aa").set(0.25)
+        registry.counter("nn").inc()
+        series = registry.as_jsonable()
+        assert [entry["name"] for entry in series] == ["aa", "mm", "nn", "zz"]
+        assert [entry["kind"] for entry in series] == [
+            "gauge", "counter", "counter", "histogram",
+        ]
+        assert series[0]["value"] == 0.25
+        assert series[1]["value"] == 4
+        assert series[3]["value"]["count"] == 1
+        # Registration order never leaks into the emitted order.
+        other = MetricsRegistry()
+        other.counter("nn").inc()
+        other.gauge("aa").set(0.25)
+        other.counter("mm").inc(4)
+        other.histogram("zz").observe(1.0)
+        assert other.as_jsonable() == series
 
 
 @given(st.lists(
