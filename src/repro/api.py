@@ -109,15 +109,31 @@ from .obs import (
     validate_chrome_trace,
     write_chrome_trace,
 )
-from .parallel import merge_metric_snapshots, run_campaign_parallel
+from .parallel import (
+    merge_metric_snapshots,
+    ordered_pool_map,
+    run_campaign_parallel,
+)
 from .perfgate import GatedMetric, GateReport, PerfGateError
 from .perfgate import check as perf_check
 from .perfgate import snapshot as perf_snapshot
-from .runtime.activepy import ActivePy, ActivePyReport, RunOptions, run_plan
+from .runtime.activepy import (
+    PLAN_MODES,
+    ActivePy,
+    ActivePyReport,
+    RunOptions,
+    run_plan,
+)
 from .runtime.codegen import ExecutionMode
 from .runtime.executor import ExecutionResult
 from .runtime.explain import LineExplanation, PlanExplanation, explain_plan
-from .runtime.planner import Plan, assign_csd_code
+from .runtime.planner import PLAN_ORIGINS, Plan, assign_csd_code
+from .runtime.plansearch import (
+    SearchMetrics,
+    SearchOptions,
+    SearchReport,
+    search_plan,
+)
 from .runtime.profcache import ProfileCache, default_cache
 from .sim import EventHandle, SimClock, SimSnapshot, Simulator
 from .workloads import Workload, all_workloads, get_workload, workload_names
@@ -175,6 +191,8 @@ __all__ = [
     "MetricsRegistry",
     "Observability",
     "ObservabilityError",
+    "PLAN_MODES",
+    "PLAN_ORIGINS",
     "PerfGateError",
     "Plan",
     "PlanExplanation",
@@ -185,6 +203,9 @@ __all__ = [
     "ReproError",
     "RunOptions",
     "SILENT_KINDS",
+    "SearchMetrics",
+    "SearchOptions",
+    "SearchReport",
     "SimClock",
     "SimSnapshot",
     "Simulator",
@@ -218,6 +239,7 @@ __all__ = [
     "explain_plan",
     "get_workload",
     "merge_metric_snapshots",
+    "ordered_pool_map",
     "percentile",
     "perf_check",
     "perf_snapshot",
@@ -229,6 +251,7 @@ __all__ = [
     "run_fleet_campaign",
     "run_plan",
     "run_python_baseline",
+    "search_plan",
     "sparkline",
     "to_chrome_trace",
     "to_fleet_chrome_trace",

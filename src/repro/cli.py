@@ -20,6 +20,8 @@
     python -m repro obs dashboard              # fleet sparkline dashboard
     python -m repro faults list                # catalogue of injectable faults
     python -m repro explain run tpch_q6        # plan vs. reality + critical path
+    python -m repro plan search pagerank       # branch-and-bound vs greedy
+    python -m repro run pagerank --plan-mode search  # run with the search plan
     python -m repro bench                      # wall-clock perf-layer benchmark
     python -m repro perf check                 # gate BENCH_*.json vs baselines
     python -m repro perf snapshot              # refresh committed perf baselines
@@ -86,7 +88,7 @@ def _cmd_run(args) -> int:
         fault_plan = FaultPlan.random(
             seed=seed, horizon_s=baseline.total_seconds, count=args.fault_count,
         )
-    report = ActivePy().run(
+    report = ActivePy(plan_mode=args.plan_mode).run(
         workload.program, workload.dataset, machine=machine,
         options=RunOptions(
             trace=args.trace,
@@ -100,7 +102,14 @@ def _cmd_run(args) -> int:
     print("plan       : " + ", ".join(
         f"{statement.name}->{where}"
         for statement, where in zip(workload.program, report.plan.assignments)
-    ))
+    ) + f" (origin: {report.plan.origin}, "
+        f"projected speedup {report.plan.projected_speedup:.2f}x)")
+    if report.search is not None and report.search.beat_greedy:
+        moves = ", ".join(
+            f"{name}: {a}->{b}" for _, name, a, b in report.search.changed_lines()
+        )
+        print(f"search     : beat greedy by "
+              f"{100 * report.search.improvement_fraction:.1f}% ({moves})")
     if report.result.migrated:
         for event in report.result.migrations:
             print(f"migration  : {event.line_name} at "
@@ -122,6 +131,60 @@ def _cmd_run(args) -> int:
         ).render())
     if args.json:
         export.dump(report, args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_plan_search(args) -> int:
+    """Branch-and-bound plan search, diffed against greedy Algorithm 1."""
+    import json as json_module
+
+    from .config import DEFAULT_CONFIG
+    from .runtime.estimator import build_estimates
+    from .runtime.planner import assign_csd_code
+    from .runtime.plansearch import SearchOptions, search_plan
+    from .runtime.sampling import SamplingPhase
+
+    workload = get_workload(args.workload, scale=args.scale)
+    print(f"planning {workload.name} at scale {args.scale} "
+          f"({format_bytes(workload.raw_bytes)})")
+    sampling = SamplingPhase(DEFAULT_CONFIG).run(workload.program,
+                                                 workload.dataset)
+    estimates = build_estimates(sampling, workload.n_records, DEFAULT_CONFIG)
+    greedy = assign_csd_code(estimates, DEFAULT_CONFIG)
+    report = search_plan(
+        workload.program, workload.dataset, estimates, DEFAULT_CONFIG,
+        options=SearchOptions(beam_width=args.beam_width,
+                              workers=args.workers),
+        greedy=greedy,
+    )
+    metrics = report.metrics
+
+    def plan_line(label, assignments, makespan):
+        moves = ", ".join(
+            f"{statement.name}->{where}"
+            for statement, where in zip(workload.program, assignments)
+        )
+        print(f"{label}: {moves}  ({format_seconds(makespan)} speculative)")
+
+    plan_line("greedy ", report.greedy_plan.assignments,
+              report.greedy_makespan_s)
+    plan_line("search ", report.plan.assignments, report.makespan_s)
+    if report.beat_greedy:
+        moves = ", ".join(
+            f"{name}: {a}->{b}" for _, name, a, b in report.changed_lines()
+        )
+        print(f"verdict: search beat greedy by "
+              f"{100 * report.improvement_fraction:.1f}% ({moves})")
+    else:
+        print("verdict: greedy's plan is optimal (search confirmed it)")
+    print(f"search  : {metrics.nodes_expanded} nodes expanded, "
+          f"{metrics.nodes_pruned} pruned, {metrics.memo_hits} memo hits, "
+          f"{metrics.steps_simulated} speculative steps, "
+          f"{metrics.wall_seconds:.3f}s wall")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(report.to_jsonable(), handle, indent=2)
         print(f"wrote {args.json}")
     return 0
 
@@ -626,8 +689,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-seed", type=int, default=None, metavar="SEED",
         help="seed for the generated fault plan (default: config fault_seed)",
     )
+    run_parser.add_argument(
+        "--plan-mode", choices=("greedy", "search"), default="greedy",
+        help="how step 3 picks the host/CSD split: the paper's greedy "
+             "Algorithm 1, or the branch-and-bound speculative search",
+    )
     run_parser.add_argument("--json", metavar="PATH", default=None)
     run_parser.set_defaults(fn=_cmd_run)
+
+    plan_parser = sub.add_parser(
+        "plan", help="plan a workload without executing it"
+    )
+    plan_sub = plan_parser.add_subparsers(dest="plan_command", required=True)
+    plan_search = plan_sub.add_parser(
+        "search",
+        help="branch-and-bound plan search over forked simulator states, "
+             "diffed against greedy Algorithm 1",
+    )
+    plan_search.add_argument("workload", choices=workload_choices)
+    plan_search.add_argument("--scale", type=float, default=1.0,
+                             help="input scale in (0, 1]")
+    plan_search.add_argument(
+        "--beam-width", type=int, default=None, metavar="W",
+        help="cap node expansions per depth (default: unbounded)",
+    )
+    plan_search.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for speculative step evaluation; any N "
+             "returns bit-identical plans and metrics (default: 1)",
+    )
+    plan_search.add_argument("--json", metavar="PATH", default=None,
+                             help="also write the search report as JSON")
+    plan_search.set_defaults(fn=_cmd_plan_search)
 
     for name, fn, help_text in (
         ("table1", _cmd_table1, "regenerate Table I"),

@@ -37,6 +37,11 @@ class SystemConfig:
     cse_ips: float = 4.0 * GIPS
     #: Number of CSE cores (ARM Cortex-A72 in the paper's prototype).
     cse_cores: int = 8
+    #: Whether the CSD's compute engines accept offloaded work at all.
+    #: ``False`` models a host with a plain (non-computational) SSD:
+    #: every planner — greedy Algorithm 1 and the branch-and-bound
+    #: search alike — must then keep all lines on the host.
+    csd_enabled: bool = True
 
     # --- interconnect -------------------------------------------------
     #: How the CSD attaches to the host (paper §III-C0a): "pcie" maps

@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from .._deprecations import warn_once
 from ..analysis.timeline import ExecutionTimeline
 from ..config import DEFAULT_CONFIG, SystemConfig
+from ..errors import PlanningError
 from ..faults import FaultInjector, FaultPlan
 from ..hw.topology import Machine, build_machine
 from ..lang.dataset import Dataset
@@ -30,10 +31,16 @@ from .estimator import LineEstimate, build_estimates
 from .executor import ExecutionResult, PlanExecutor, ProgressTrigger
 from .explain import PREDICTION_ERROR_BUCKETS, PlanExplanation, explain_plan
 from .planner import Plan, assign_csd_code
+from .plansearch import SearchOptions, SearchReport, search_plan
 from .profcache import ProfileCache, default_cache
 from .sampling import SamplingPhase, SamplingReport
 
-__all__ = ["ActivePy", "ActivePyReport", "RunOptions", "run_plan"]
+__all__ = ["ActivePy", "ActivePyReport", "PLAN_MODES", "RunOptions", "run_plan"]
+
+#: How step 3 picks the host/CSD split: the paper's greedy Algorithm 1,
+#: or the branch-and-bound speculative search over forked simulator
+#: states (:mod:`repro.runtime.plansearch`).
+PLAN_MODES = ("greedy", "search")
 
 #: Distinguishes "caller never passed the deprecated keyword" from any
 #: legitimate value (including None/False/()).
@@ -60,12 +67,29 @@ class RunOptions:
         A caller-owned :class:`~repro.obs.Observability` handle; the
         machine's components record metrics and spans into it.  Omit
         for a zero-overhead disabled handle.
+    plan_mode:
+        Override the instance's planning mode for this run: "greedy"
+        (Algorithm 1) or "search" (branch-and-bound over forked
+        simulator states).  ``None`` keeps the instance default.
+    search_options:
+        Knobs for ``plan_mode="search"``
+        (:class:`~repro.runtime.plansearch.SearchOptions`); ``None``
+        keeps the instance default.
     """
 
     trace: bool = False
     progress_triggers: Tuple[ProgressTrigger, ...] = ()
     fault_plan: Optional[FaultPlan] = None
     obs: Optional[Observability] = None
+    plan_mode: Optional[str] = None
+    search_options: Optional[SearchOptions] = None
+
+    def __post_init__(self) -> None:
+        if self.plan_mode is not None and self.plan_mode not in PLAN_MODES:
+            raise PlanningError(
+                f"invalid plan_mode {self.plan_mode!r}; expected one of "
+                f"{PLAN_MODES}"
+            )
 
 
 @dataclass
@@ -95,6 +119,10 @@ class ActivePyReport:
     #: How the profile cache treated this run: "hit", "miss",
     #: "uncacheable" (unfingerprintable program), or "off".
     sampling_cache_status: str = "off"
+    #: The branch-and-bound search's full outcome (None for greedy
+    #: runs).  ``search.cache_hit`` marks warm runs that skipped the
+    #: search and served the plan from the profile cache.
+    search: Optional[SearchReport] = None
 
     @property
     def execution_seconds(self) -> float:
@@ -152,6 +180,16 @@ class ActivePy:
         results are bit-identical warm or cold.  Runs with
         ``profiler_noise > 0`` always bypass the cache (their profiles
         are meant to differ run to run).
+    plan_mode:
+        "greedy" runs the paper's Algorithm 1 (the default); "search"
+        runs the branch-and-bound speculative search
+        (:mod:`repro.runtime.plansearch`), which never returns a plan
+        with a worse speculative makespan than greedy's.  Search
+        results are keyed into the profile cache, so warm runs skip
+        the search entirely.
+    search_options:
+        Default :class:`~repro.runtime.plansearch.SearchOptions` for
+        ``plan_mode="search"`` (beam width, worker processes).
     """
 
     def __init__(
@@ -159,9 +197,18 @@ class ActivePy:
         config: SystemConfig = DEFAULT_CONFIG,
         migration_enabled: bool = True,
         profile_cache: Any = None,
+        plan_mode: str = "greedy",
+        search_options: Optional[SearchOptions] = None,
     ) -> None:
+        if plan_mode not in PLAN_MODES:
+            raise PlanningError(
+                f"invalid plan_mode {plan_mode!r}; expected one of "
+                f"{PLAN_MODES}"
+            )
         self.config = config
         self.migration_enabled = migration_enabled
+        self.plan_mode = plan_mode
+        self.search_options = search_options
         self._sampling_phase = SamplingPhase(config)
         self._codegen = CodeGenerator(config)
         if profile_cache is None or profile_cache is True:
@@ -264,8 +311,24 @@ class ActivePy:
             device_counters=device.cse.read_performance_counters(),
         )
 
-        # 3. Algorithm 1: pick the CSD code regions.
+        # 3. Pick the CSD code regions: Algorithm 1's greedy pass, and
+        #    — in "search" mode — the branch-and-bound refinement over
+        #    forked simulator states, seeded with greedy's plan so it
+        #    can only match or beat it.  Like greedy, the search is
+        #    digital-twin work and charges no simulated time; its wall
+        #    cost is bounded by the perf gate and amortised by the
+        #    profile cache.
         plan = assign_csd_code(estimates, self.config)
+        search_report: Optional[SearchReport] = None
+        plan_mode = (
+            opts.plan_mode if opts.plan_mode is not None else self.plan_mode
+        )
+        if plan_mode == "search":
+            search_report = self._search_plan(
+                program, dataset, estimates, plan,
+                cache=cache, cache_key=cache_key, handle=handle, opts=opts,
+            )
+            plan = search_report.plan
 
         # 4. Generate machine code for both units and distribute it.
         compile_start = machine.now
@@ -286,8 +349,11 @@ class ActivePy:
         )
 
         # 6. Explain: the planner's per-line predictions next to what
-        #    the executor measured, so the plan is auditable.
-        explanation = explain_plan(plan, result, self.config)
+        #    the executor measured, so the plan is auditable — search
+        #    plans additionally carry their diff against greedy.
+        explanation = explain_plan(
+            plan, result, self.config, search=search_report
+        )
         if handle.enabled:
             self._record_explanation(handle, explanation)
 
@@ -308,7 +374,56 @@ class ActivePy:
             explanation=explanation,
             sampling_cached=cache_status == "hit",
             sampling_cache_status=cache_status,
+            search=search_report,
         )
+
+    def _search_plan(
+        self,
+        program: Program,
+        dataset: Dataset,
+        estimates: List[LineEstimate],
+        greedy_plan: Plan,
+        cache: Optional[ProfileCache],
+        cache_key: Optional[str],
+        handle: Observability,
+        opts: RunOptions,
+    ) -> SearchReport:
+        """Run (or cache-serve) the branch-and-bound plan search.
+
+        The plan cache key derives from the sampling fingerprint plus
+        the search knobs, so a warm run skips the search entirely and
+        counts a ``plansearch.cache_hit``; any code or input change
+        that would re-profile also re-searches.
+        """
+        search_opts = (
+            opts.search_options if opts.search_options is not None
+            else self.search_options
+        )
+        if search_opts is None:
+            search_opts = SearchOptions()
+        report: Optional[SearchReport] = None
+        plan_cache_key: Optional[str] = None
+        if cache is not None and cache_key is not None:
+            plan_cache_key = cache.plan_key(
+                cache_key, search_opts.digest_token()
+            )
+            payload = cache.get_plan(plan_cache_key)
+            if payload is not None:
+                try:
+                    report = SearchReport.from_jsonable(payload)
+                    report.cache_hit = True
+                except PlanningError:
+                    report = None
+        if report is None:
+            report = search_plan(
+                program, dataset, estimates, self.config,
+                options=search_opts, greedy=greedy_plan,
+            )
+            if cache is not None and plan_cache_key is not None:
+                cache.put_plan(plan_cache_key, report.to_jsonable())
+        if handle.enabled:
+            report.publish(handle)
+        return report
 
     @staticmethod
     def _record_explanation(

@@ -517,6 +517,85 @@ class PlanExecutor:
             integrity_stats=self.integrity.stats(),
         )
 
+    # --- speculative stepping (plan search) ----------------------------------
+
+    def run_line_clean(
+        self,
+        compiled: CompiledProgram,
+        n_records: int,
+        index: int,
+        location: str,
+        value_location: str,
+    ) -> str:
+        """Execute one line of the *fault-free* path; return the new
+        location of the program's live value.
+
+        This is the stepper :mod:`repro.runtime.plansearch` drives
+        against a forked simulator state: the same charging primitives
+        as :meth:`execute` (input shipping over the D2H link, dispatch
+        doorbells, per-chunk streaming + compute, checkpoint saves,
+        status messages), minus the fault/migration machinery that a
+        speculative dry-run has no business exercising.  Fidelity to
+        the real fault-free run is pinned by
+        ``tests/test_plansearch.py``: summing these steps over a full
+        assignment reproduces :meth:`execute`'s makespan.
+        """
+        machine = self.machine
+        program = compiled.program
+        statement = program[index]
+        n = float(n_records)
+        multiplier = compiled.multiplier
+        self._chunk_ledger.setdefault(index, 0)
+
+        d_in = program.input_bytes(index, n)
+        storage_total = statement.storage_bytes(n)
+        instr_total = statement.instructions(n) * multiplier
+        chunks = statement.chunks
+
+        if location != value_location and d_in > 0:
+            self._verified_move(
+                machine.d2h_link, d_in, multiplier, key=f"input.line{index}",
+            )
+        if location != CSD:
+            self._run_line_on_host(
+                index, statement, instr_total, storage_total, d_in,
+                input_remote=False, multiplier=multiplier,
+            )
+            return HOST
+
+        command_id = self.dispatcher.invoke(
+            statement.name, compiled.device_binaries.get(statement.name),
+        )
+        self.checkpoints.save(index, 0, statement.live_vars, machine.now)
+        for chunk in range(chunks):
+            self._run_chunk_on_csd(
+                index, statement, chunk,
+                instr_total, storage_total, chunks, multiplier,
+            )
+            machine.simulator.fire_due_events()
+            self._chunk_ledger[index] += 1
+            self.checkpoints.save(
+                index, chunk + 1, statement.live_vars, machine.now
+            )
+            self._post_status(statement, chunk + 1, chunks)
+        self.dispatcher.complete(command_id)
+        self.dispatcher.reap_completion(command_id)
+        return CSD
+
+    def finish_clean(
+        self, compiled: CompiledProgram, n_records: int, value_location: str
+    ) -> None:
+        """The fault-free epilogue: read the final value back if needed."""
+        program = compiled.program
+        if value_location == CSD and len(program) > 0:
+            last = program[len(program) - 1]
+            self._verified_move(
+                self.machine.d2h_link,
+                last.output_bytes(float(n_records)),
+                compiled.multiplier,
+                key="final.output",
+            )
+
     # --- chunk mechanics ----------------------------------------------------
 
     def _move(self, link, nbytes: float, multiplier: float) -> None:

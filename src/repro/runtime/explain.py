@@ -23,12 +23,15 @@ rather than smeared into the last line's error.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..config import SystemConfig
 from ..errors import ProgramError
 from .executor import ExecutionResult
 from .planner import CSD, Plan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .plansearch import SearchReport
 
 __all__ = ["LineExplanation", "PlanExplanation", "explain_plan"]
 
@@ -85,6 +88,14 @@ class PlanExplanation:
     #: One entry per migration: the audit trail of why the runtime
     #: overrode the plan mid-line.
     migration_audit: List[Dict[str, object]] = None  # set in __post_init__
+    #: Which planner produced the plan ("greedy", "search", "external").
+    plan_origin: str = "greedy"
+    #: For search plans: how the branch-and-bound's choice differs from
+    #: greedy Algorithm 1 and what it bought (None for greedy plans).
+    #: Keys: greedy_assignments, search_assignments, greedy_makespan_s,
+    #: search_makespan_s, improvement_fraction, changed_lines,
+    #: search_cache_hit.
+    search_diff: Optional[Dict[str, object]] = None
 
     def __post_init__(self) -> None:
         if self.migration_audit is None:
@@ -111,11 +122,32 @@ class PlanExplanation:
 
     def render(self) -> str:
         lines = [
-            f"plan explanation for {self.program_name!r}: "
+            f"plan explanation for {self.program_name!r} "
+            f"(origin: {self.plan_origin}): "
             f"predicted {self.predicted_total_seconds:.6f} s, "
             f"measured {self.measured_total_seconds:.6f} s "
             f"({self.total_error_seconds:+.6f} s)"
         ]
+        if self.search_diff is not None:
+            diff = self.search_diff
+            changed = diff.get("changed_lines") or []
+            if changed:
+                moves = ", ".join(
+                    f"{name}: {a}->{b}" for _, name, a, b in changed
+                )
+                lines.append(
+                    f"  search beat greedy by "
+                    f"{100 * float(diff['improvement_fraction']):.1f}% "
+                    f"({float(diff['greedy_makespan_s']):.6f} s -> "
+                    f"{float(diff['search_makespan_s']):.6f} s) by moving "
+                    f"{moves}"
+                )
+            else:
+                lines.append(
+                    "  search confirmed greedy's plan is optimal "
+                    f"(speculative makespan "
+                    f"{float(diff['search_makespan_s']):.6f} s)"
+                )
         header = (
             f"  {'line':<16} {'plan':<6} {'ran':<6} "
             f"{'predicted':>12} {'measured':>12} {'error':>12}"
@@ -146,6 +178,7 @@ class PlanExplanation:
     def summary(self) -> Dict[str, object]:
         return {
             "program": self.program_name,
+            "plan_origin": self.plan_origin,
             "predicted_total_seconds": self.predicted_total_seconds,
             "measured_total_seconds": self.measured_total_seconds,
             "total_error_seconds": self.total_error_seconds,
@@ -174,6 +207,9 @@ class PlanExplanation:
                 for line in self.lines
             ],
             "migration_audit": [dict(audit) for audit in self.migration_audit],
+            "search_diff": (
+                dict(self.search_diff) if self.search_diff is not None else None
+            ),
         }
 
 
@@ -199,9 +235,21 @@ def predicted_line_seconds(plan: Plan, config: SystemConfig) -> List[float]:
 
 
 def explain_plan(
-    plan: Plan, result: ExecutionResult, config: SystemConfig
+    plan: Plan,
+    result: ExecutionResult,
+    config: SystemConfig,
+    search: Optional["SearchReport"] = None,
 ) -> PlanExplanation:
-    """Join the plan's per-line predictions with the measured timings."""
+    """Join the plan's per-line predictions with the measured timings.
+
+    ``search`` attaches plan provenance for branch-and-bound plans
+    (:mod:`repro.runtime.plansearch`): the explanation then carries an
+    explicit diff against what greedy Algorithm 1 would have chosen —
+    which lines moved and how many speculative seconds the move bought.
+    Per-line *predictions* stay Eq.-1 terms either way; a search plan's
+    predicted **total** is its measured speculative makespan, which is
+    why search runs explain with near-zero total error.
+    """
     if not plan.estimates:
         raise ProgramError("cannot explain a plan without line estimates")
     predicted = predicted_line_seconds(plan, config)
@@ -241,6 +289,17 @@ def explain_plan(
         }
         for event in result.migrations
     ]
+    search_diff: Optional[Dict[str, object]] = None
+    if search is not None:
+        search_diff = {
+            "greedy_assignments": list(search.greedy_plan.assignments),
+            "search_assignments": list(search.plan.assignments),
+            "greedy_makespan_s": search.greedy_makespan_s,
+            "search_makespan_s": search.makespan_s,
+            "improvement_fraction": search.improvement_fraction,
+            "changed_lines": [list(entry) for entry in search.changed_lines()],
+            "search_cache_hit": search.cache_hit,
+        }
     return PlanExplanation(
         program_name=result.program_name,
         lines=lines,
@@ -248,4 +307,6 @@ def explain_plan(
         measured_total_seconds=result.total_seconds,
         predicted_final_transfer_seconds=final_transfer,
         migration_audit=audit,
+        plan_origin=plan.origin,
+        search_diff=search_diff,
     )

@@ -19,8 +19,8 @@ would pay the narrow interconnect on every boundary.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Sequence
 
 from ..config import SystemConfig
 from ..errors import PlanningError
@@ -28,6 +28,11 @@ from .estimator import LineEstimate
 
 HOST = "host"
 CSD = "csd"
+
+#: Where a plan came from: the paper's greedy Algorithm 1, the
+#: branch-and-bound search (:mod:`repro.runtime.plansearch`), or a
+#: caller-supplied assignment (baselines, replayed JSON).
+PLAN_ORIGINS = ("greedy", "search", "external")
 
 
 @dataclass
@@ -40,11 +45,18 @@ class Plan:
     #: Projected execution time under this plan (the algorithm's T_csd).
     t_csd: float
     estimates: Sequence[LineEstimate] = field(default=(), repr=False)
+    #: Which planner produced this assignment (see :data:`PLAN_ORIGINS`).
+    origin: str = "greedy"
 
     def __post_init__(self) -> None:
         bad = [a for a in self.assignments if a not in (HOST, CSD)]
         if bad:
             raise PlanningError(f"invalid assignment values: {bad}")
+        if self.origin not in PLAN_ORIGINS:
+            raise PlanningError(
+                f"invalid plan origin {self.origin!r}; expected one of "
+                f"{PLAN_ORIGINS}"
+            )
 
     @property
     def csd_lines(self) -> List[int]:
@@ -66,6 +78,50 @@ class Plan:
 
     def location_of(self, index: int) -> str:
         return self.assignments[index]
+
+    # --- serialisation (mirrors FaultPlan's to/from_jsonable) ---------------
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """A JSON-ready view that :meth:`from_jsonable` inverts exactly.
+
+        Floats survive the round trip bit-for-bit (JSON ``repr`` is
+        exact for IEEE doubles), so a cached or replayed plan is
+        indistinguishable from the original — the property the profile
+        cache's warm-run shortcut rests on.
+        """
+        return {
+            "schema": "repro-plan/1",
+            "assignments": list(self.assignments),
+            "t_host": self.t_host,
+            "t_csd": self.t_csd,
+            "origin": self.origin,
+            "estimates": [asdict(e) for e in self.estimates],
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: Dict[str, Any]) -> "Plan":
+        """Rebuild a plan serialised by :meth:`to_jsonable`."""
+        if not isinstance(payload, dict):
+            raise PlanningError(
+                f"plan payload must be a dict, got {type(payload).__name__}"
+            )
+        if payload.get("schema") != "repro-plan/1":
+            raise PlanningError(
+                f"unknown plan schema {payload.get('schema')!r}"
+            )
+        try:
+            estimates = tuple(
+                LineEstimate(**entry) for entry in payload["estimates"]
+            )
+            return cls(
+                assignments=[str(a) for a in payload["assignments"]],
+                t_host=float(payload["t_host"]),
+                t_csd=float(payload["t_csd"]),
+                estimates=estimates,
+                origin=str(payload.get("origin", "external")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PlanningError(f"malformed plan payload: {exc}") from exc
 
 
 def host_only_plan(estimates: Sequence[LineEstimate]) -> Plan:
@@ -90,6 +146,10 @@ def assign_csd_code(estimates: Sequence[LineEstimate], config: SystemConfig) -> 
     indices = [e.index for e in estimates]
     if indices != list(range(len(estimates))):
         raise PlanningError(f"line estimates must be dense and ordered, got {indices}")
+    if not config.csd_enabled:
+        # A plain SSD: no compute engines to offload to, so the walk
+        # below could never accept a move.  Short-circuit to all-host.
+        return host_only_plan(estimates)
 
     bw = config.bw_d2h
     t_host = sum(e.ct_host for e in estimates)

@@ -383,6 +383,8 @@ class ProfileCache:
         self.misses = 0
         self.invalidations = 0
         self.uncacheable = 0
+        self.plan_hits = 0
+        self.plan_misses = 0
 
     # --- key --------------------------------------------------------------
 
@@ -397,6 +399,22 @@ class ProfileCache:
 
     def _path(self, key: str) -> Path:
         return self.root / "profiles" / f"{key}.json"
+
+    @staticmethod
+    def plan_key(base_key: str, options_token: str) -> str:
+        """The plan-cache key for a run key plus search knobs.
+
+        Derived from the *sampling* fingerprint (so anything that
+        invalidates a profile invalidates its plans) salted with the
+        search options that shaped the plan — a beam-limited search and
+        an exhaustive one may legitimately disagree.
+        """
+        return hashlib.sha256(
+            f"{base_key}:plan:{options_token}".encode("utf-8")
+        ).hexdigest()
+
+    def _plan_path(self, key: str) -> Path:
+        return self.root / "plans" / f"{key}.json"
 
     # --- read -------------------------------------------------------------
 
@@ -435,7 +453,57 @@ class ProfileCache:
         self.hits += 1
         return report
 
-    def _invalidate(self, path: Path, reason: str) -> None:
+    def get_plan(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached plan-search payload for ``key``, or ``None``.
+
+        Plan entries share the profile entries' envelope (schema, key,
+        checksum) and damage policy: anything unusable is dropped and
+        recomputed, never served.  The payload is the JSON view of a
+        :class:`~repro.runtime.plansearch.SearchReport`.
+        """
+        path = self._plan_path(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            self.plan_misses += 1
+            return None
+        except OSError as exc:
+            self._invalidate(path, f"unreadable ({exc})", plan=True)
+            return None
+        try:
+            envelope = json.loads(raw)
+            if envelope.get("schema_version") != _SCHEMA_VERSION:
+                raise ValueError(
+                    f"schema {envelope.get('schema_version')!r} != "
+                    f"{_SCHEMA_VERSION}"
+                )
+            if envelope.get("key") != key:
+                raise ValueError("key mismatch (renamed or copied entry)")
+            payload = envelope["payload"]
+            if envelope.get("checksum") != _checksum(payload):
+                raise ValueError("checksum mismatch (truncated or edited)")
+        except Exception as exc:  # noqa: BLE001 — any damage means re-search
+            self._invalidate(path, str(exc), plan=True)
+            return None
+        self.plan_hits += 1
+        return payload
+
+    def put_plan(self, key: str, payload: Dict[str, Any]) -> bool:
+        """Persist a plan-search payload under ``key``; atomic, best-effort."""
+        try:
+            envelope = {
+                "schema_version": _SCHEMA_VERSION,
+                "repro_version": _repro_version(),
+                "key": key,
+                "checksum": _checksum(payload),
+                "payload": payload,
+            }
+            text = json.dumps(envelope, sort_keys=True, allow_nan=False)
+        except (TypeError, ValueError):
+            return False
+        return self._write_atomic(self._plan_path(key), key, text)
+
+    def _invalidate(self, path: Path, reason: str, plan: bool = False) -> None:
         warnings.warn(
             f"repro profile cache: ignoring corrupted entry "
             f"{path.name}: {reason}",
@@ -443,7 +511,10 @@ class ProfileCache:
             stacklevel=3,
         )
         self.invalidations += 1
-        self.misses += 1
+        if plan:
+            self.plan_misses += 1
+        else:
+            self.misses += 1
         try:
             path.unlink()
         except OSError:
@@ -470,7 +541,10 @@ class ProfileCache:
             text = json.dumps(envelope, sort_keys=True, allow_nan=False)
         except (TypeError, ValueError):
             return False
-        path = self._path(key)
+        return self._write_atomic(self._path(key), key, text)
+
+    @staticmethod
+    def _write_atomic(path: Path, key: str, text: str) -> bool:
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp_name = tempfile.mkstemp(
@@ -495,14 +569,15 @@ class ProfileCache:
     def clear(self) -> int:
         """Delete every cached entry; returns how many were removed."""
         removed = 0
-        profiles = self.root / "profiles"
-        if profiles.is_dir():
-            for path in profiles.glob("*.json"):
-                try:
-                    path.unlink()
-                    removed += 1
-                except OSError:
-                    pass
+        for subdir in ("profiles", "plans"):
+            directory = self.root / subdir
+            if directory.is_dir():
+                for path in directory.glob("*.json"):
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
         return removed
 
     def stats(self) -> Dict[str, int]:
@@ -511,6 +586,8 @@ class ProfileCache:
             "misses": self.misses,
             "invalidations": self.invalidations,
             "uncacheable": self.uncacheable,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
         }
 
     def __repr__(self) -> str:

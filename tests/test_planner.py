@@ -1,5 +1,7 @@
 """Algorithm 1: the greedy CSD code assignment."""
 
+import json
+
 import pytest
 
 from repro.config import SystemConfig
@@ -174,3 +176,95 @@ class TestExhaustiveSearch:
         lines = [line(i, f"l{i}", 1, 1, 0, 0) for i in range(20)]
         with pytest.raises(PlanningError):
             exhaustive_best_plan(lines, cfg)
+
+
+class TestPlanSerialisation:
+    def _plan(self, cfg):
+        lines = [
+            line(0, "a", 4.0, 1.5, 0, 5e9, d_storage=6e9),
+            line(1, "b", 1.0, 1.1, 5e9, 1e6),
+            line(2, "c", 2.0, 4.0, 1e6, 8.0),
+        ]
+        return assign_csd_code(lines, cfg)
+
+    def test_round_trip_is_exact(self, cfg):
+        plan = self._plan(cfg)
+        payload = json.loads(json.dumps(plan.to_jsonable()))
+        rebuilt = Plan.from_jsonable(payload)
+        assert rebuilt.assignments == plan.assignments
+        assert rebuilt.origin == plan.origin
+        # Bit-exact floats: JSON repr is exact for IEEE doubles.
+        assert rebuilt.t_host == plan.t_host
+        assert rebuilt.t_csd == plan.t_csd
+        assert rebuilt.estimates == plan.estimates
+        assert rebuilt.to_jsonable() == plan.to_jsonable()
+
+    def test_origin_survives_round_trip(self, cfg):
+        plan = self._plan(cfg)
+        relabelled = Plan(
+            assignments=plan.assignments, t_host=plan.t_host,
+            t_csd=plan.t_csd, estimates=plan.estimates, origin="search",
+        )
+        assert Plan.from_jsonable(relabelled.to_jsonable()).origin == "search"
+
+    def test_unknown_schema_rejected(self, cfg):
+        payload = self._plan(cfg).to_jsonable()
+        payload["schema"] = "repro-plan/99"
+        with pytest.raises(PlanningError):
+            Plan.from_jsonable(payload)
+
+    def test_missing_key_rejected(self, cfg):
+        payload = self._plan(cfg).to_jsonable()
+        del payload["t_csd"]
+        with pytest.raises(PlanningError):
+            Plan.from_jsonable(payload)
+
+    def test_bad_origin_rejected(self, cfg):
+        payload = self._plan(cfg).to_jsonable()
+        payload["origin"] = "oracle"
+        with pytest.raises(PlanningError):
+            Plan.from_jsonable(payload)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(PlanningError):
+            Plan.from_jsonable("not a plan")
+
+
+class TestPlannerEdgeCases:
+    def test_single_line_program(self, cfg):
+        only = line(0, "scan", ct_host=4.0, ct_device=1.5, d_in=0,
+                    d_out=1e6, d_storage=6e9)
+        plan = assign_csd_code([only], cfg)
+        assert len(plan.assignments) == 1
+        assert plan.t_csd <= plan.t_host
+
+    def test_csd_disabled_forces_all_host(self):
+        cfg = SystemConfig(csd_enabled=False)
+        lines = [
+            # Wildly device-favourable, but there is no device.
+            line(0, "scan", ct_host=9.0, ct_device=0.1, d_in=0, d_out=1e3,
+                 d_storage=6e9),
+            line(1, "crunch", ct_host=9.0, ct_device=0.1, d_in=1e3, d_out=8.0),
+        ]
+        plan = assign_csd_code(lines, cfg)
+        assert plan.assignments == [HOST, HOST]
+        assert plan.t_csd == plan.t_host == pytest.approx(18.0)
+
+    def test_tie_breaks_deterministically_to_host(self, cfg):
+        # t_candidate == t_csd exactly: acceptance requires a *strict*
+        # improvement, so the line stays on the host every time.
+        tie = line(0, "tie", ct_host=2.0, ct_device=2.0, d_in=0, d_out=0.0)
+        plans = [assign_csd_code([tie], cfg) for _ in range(5)]
+        assert all(p.assignments == [HOST] for p in plans)
+
+    def test_repeated_runs_identical(self, cfg):
+        lines = [
+            line(0, "a", 3.0, 1.2, 0, 4e9, d_storage=6e9),
+            line(1, "b", 0.5, 0.6, 4e9, 2e9),
+            line(2, "c", 2.0, 4.0, 2e9, 1e6),
+        ]
+        first = assign_csd_code(lines, cfg)
+        for _ in range(3):
+            again = assign_csd_code(lines, cfg)
+            assert again.assignments == first.assignments
+            assert again.t_csd == first.t_csd

@@ -1,0 +1,443 @@
+"""Branch-and-bound plan search over forked simulator states."""
+
+import dataclasses
+import itertools
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DEFAULT_CONFIG
+from repro.errors import PlanningError
+from repro.hw.topology import build_machine
+from repro.obs import Observability
+from repro.runtime.activepy import ActivePy, RunOptions
+from repro.runtime.codegen import CodeGenerator, ExecutionMode
+from repro.runtime.estimator import build_estimates
+from repro.runtime.executor import PlanExecutor
+from repro.runtime.planner import CSD, HOST, Plan, assign_csd_code
+from repro.runtime.plansearch import (
+    _FINAL,
+    SearchOptions,
+    SearchReport,
+    _fold_bound,
+    _SpeculativeMachine,
+    _step_space,
+    search_plan,
+)
+from repro.runtime.profcache import ProfileCache
+from repro.runtime.sampling import SamplingPhase
+from repro.workloads import get_workload
+
+#: Small enough for fast tests; the §V CSR effect is scale-invariant
+#: (sample prefixes stay "sample-shaped" at any population size), so
+#: pagerank/sparsemv keep their strict wins here too.
+SCALE = 0.02
+
+
+def _estimates_for(name, scale=SCALE, config=DEFAULT_CONFIG):
+    workload = get_workload(name, scale=scale)
+    sampling = SamplingPhase(config).run(workload.program, workload.dataset)
+    return workload, build_estimates(sampling, workload.n_records, config)
+
+
+@pytest.fixture(scope="module")
+def pagerank():
+    return _estimates_for("pagerank")
+
+
+@pytest.fixture(scope="module")
+def tpch_q6():
+    return _estimates_for("tpch_q6")
+
+
+def _search(workload, estimates, config=DEFAULT_CONFIG, **kwargs):
+    return search_plan(
+        workload.program, workload.dataset, estimates, config, **kwargs
+    )
+
+
+class TestFidelity:
+    """The step table reproduces the executor, step for step."""
+
+    def test_leaf_scores_match_real_execution(self, tpch_q6):
+        workload, estimates = tpch_q6
+        k = len(workload.program)
+        spec = _SpeculativeMachine(
+            workload.program, workload.dataset, DEFAULT_CONFIG
+        )
+        steps = {
+            key: spec.step_seconds(key)
+            for key in _step_space(k, (HOST, CSD))
+        }
+        for assignments in itertools.product((HOST, CSD), repeat=k):
+            elapsed, value_location = 0.0, HOST
+            for index, location in enumerate(assignments):
+                elapsed += steps[(index, location, value_location)]
+                value_location = location
+            if value_location == CSD:
+                elapsed += steps[(_FINAL, HOST, CSD)]
+
+            machine = build_machine(
+                DEFAULT_CONFIG, obs=Observability.disabled()
+            )
+            machine.csd.store_dataset(
+                workload.dataset.name, workload.dataset.raw_bytes
+            )
+            plan = Plan(
+                assignments=list(assignments), t_host=0.0, t_csd=0.0,
+                estimates=tuple(estimates), origin="external",
+            )
+            compiled = CodeGenerator(DEFAULT_CONFIG).generate(
+                machine, workload.program, plan, mode=ExecutionMode.ACTIVEPY
+            )
+            started = machine.now
+            PlanExecutor(machine, migration_enabled=False).execute(
+                compiled, workload.n_records
+            )
+            real = machine.now - started
+            assert elapsed == pytest.approx(real, rel=1e-12, abs=1e-12), (
+                assignments
+            )
+
+
+class TestSearchVsGreedy:
+    def test_strictly_beats_greedy_on_csr_workloads(self):
+        # The §V case study: the sampled volume curve over-predicts the
+        # CSR conversion's output, greedy keeps it on the host, and the
+        # speculative search (which measures, not extrapolates) offloads
+        # it for a strictly better makespan.
+        for name in ("pagerank", "sparsemv"):
+            workload, estimates = _estimates_for(name)
+            report = _search(workload, estimates)
+            assert report.beat_greedy, name
+            assert report.makespan_s < report.greedy_makespan_s, name
+            assert report.plan.assignments[1] == CSD
+            assert report.greedy_plan.assignments[1] == HOST
+            assert report.changed_lines() == [
+                (1, estimates[1].name, HOST, CSD)
+            ]
+
+    @pytest.mark.parametrize("name", ["tpch_q6", "mixedgemm", "kmeans"])
+    def test_ties_return_greedy_plan_exactly(self, name):
+        # Improvements must be strict: where greedy is optimal the
+        # search returns greedy's assignment bit for bit.
+        workload, estimates = _estimates_for(name)
+        report = _search(workload, estimates)
+        assert report.plan.assignments == report.greedy_plan.assignments
+        assert report.makespan_s == report.greedy_makespan_s
+        assert not report.beat_greedy
+
+    def test_never_worse_even_with_beam_width_one(self, pagerank):
+        # Any beam still holds the never-worse guarantee — the greedy
+        # incumbent is seeded before the first expansion.
+        workload, estimates = pagerank
+        unbounded = _search(workload, estimates)
+        for width in (1, 2):
+            narrow = _search(
+                workload, estimates, options=SearchOptions(beam_width=width)
+            )
+            assert narrow.makespan_s <= narrow.greedy_makespan_s
+            assert narrow.makespan_s >= unbounded.makespan_s
+
+    def test_plan_origin_and_measured_projections(self, pagerank):
+        workload, estimates = pagerank
+        report = _search(workload, estimates)
+        plan = report.plan
+        assert plan.origin == "search"
+        assert plan.t_csd == report.makespan_s
+        # t_host is the *measured* all-host speculative makespan.
+        assert plan.t_host > plan.t_csd
+        assert report.improvement_fraction > 0.0
+
+    def test_matches_exhaustive_oracle(self, pagerank):
+        # The pruning (bound, transposition, dominance) must be exact:
+        # same winner as brute force over all 2^k leaves.
+        workload, estimates = pagerank
+        k = len(workload.program)
+        spec = _SpeculativeMachine(
+            workload.program, workload.dataset, DEFAULT_CONFIG
+        )
+        steps = {
+            key: spec.step_seconds(key)
+            for key in _step_space(k, (HOST, CSD))
+        }
+
+        def walk(assignments):
+            elapsed, value_location = 0.0, HOST
+            for index, location in enumerate(assignments):
+                elapsed += steps[(index, location, value_location)]
+                value_location = location
+            if value_location == CSD:
+                elapsed += steps[(_FINAL, HOST, CSD)]
+            return elapsed
+
+        brute = min(
+            walk(a) for a in itertools.product((HOST, CSD), repeat=k)
+        )
+        report = _search(workload, estimates)
+        assert report.makespan_s == brute
+
+    def test_metrics_populated(self, pagerank):
+        workload, estimates = pagerank
+        report = _search(workload, estimates)
+        metrics = report.metrics
+        assert metrics.nodes_expanded > 0
+        assert metrics.steps_simulated == 4 * len(workload.program) + 1
+        assert metrics.wall_seconds > 0.0
+        # Trajectory starts at greedy's seed and ends at the winner.
+        assert metrics.incumbent_trajectory[0][1] == report.greedy_makespan_s
+        assert metrics.incumbent_trajectory[-1][1] == report.makespan_s
+
+
+class TestDeterminism:
+    def test_workers_bit_identical(self, pagerank):
+        workload, estimates = pagerank
+        greedy = assign_csd_code(estimates, DEFAULT_CONFIG)
+        reports = {
+            workers: _search(
+                workload, estimates,
+                options=SearchOptions(workers=workers), greedy=greedy,
+            )
+            for workers in (1, 4)
+        }
+        serial, parallel = reports[1], reports[4]
+        assert serial.plan.assignments == parallel.plan.assignments
+        assert serial.makespan_s == parallel.makespan_s
+        assert serial.greedy_makespan_s == parallel.greedy_makespan_s
+        serial_metrics = serial.metrics.to_jsonable()
+        parallel_metrics = parallel.metrics.to_jsonable()
+        serial_metrics.pop("wall_seconds")
+        parallel_metrics.pop("wall_seconds")
+        assert serial_metrics == parallel_metrics
+
+    def test_repeated_searches_identical(self, tpch_q6):
+        workload, estimates = tpch_q6
+        first = _search(workload, estimates)
+        second = _search(workload, estimates)
+        assert first.plan.assignments == second.plan.assignments
+        assert first.makespan_s == second.makespan_s
+
+
+class TestValidation:
+    def test_rejects_bad_workers(self, tpch_q6):
+        workload, estimates = tpch_q6
+        with pytest.raises(PlanningError):
+            _search(workload, estimates, options=SearchOptions(workers=0))
+
+    def test_rejects_bad_beam(self, tpch_q6):
+        workload, estimates = tpch_q6
+        with pytest.raises(PlanningError):
+            _search(workload, estimates, options=SearchOptions(beam_width=0))
+
+    def test_rejects_estimate_mismatch(self, tpch_q6):
+        workload, estimates = tpch_q6
+        with pytest.raises(PlanningError):
+            _search(workload, estimates[:-1])
+
+    def test_csd_disabled_returns_all_host(self, tpch_q6):
+        workload, estimates = tpch_q6
+        config = dataclasses.replace(DEFAULT_CONFIG, csd_enabled=False)
+        report = _search(workload, estimates, config=config)
+        assert report.plan.assignments == [HOST] * len(workload.program)
+        assert report.greedy_plan.assignments == (
+            [HOST] * len(workload.program)
+        )
+        assert report.makespan_s <= report.greedy_makespan_s
+
+    def test_report_round_trips_through_json(self, pagerank):
+        workload, estimates = pagerank
+        report = _search(workload, estimates)
+        payload = json.loads(json.dumps(report.to_jsonable()))
+        rebuilt = SearchReport.from_jsonable(payload)
+        assert rebuilt.plan.assignments == report.plan.assignments
+        assert rebuilt.plan.t_csd == report.plan.t_csd
+        assert rebuilt.makespan_s == report.makespan_s
+        assert rebuilt.greedy_makespan_s == report.greedy_makespan_s
+        assert (
+            rebuilt.metrics.incumbent_trajectory
+            == report.metrics.incumbent_trajectory
+        )
+        with pytest.raises(PlanningError):
+            SearchReport.from_jsonable({"plan": {}})
+
+
+class TestActivePyIntegration:
+    def test_search_mode_end_to_end(self):
+        workload = get_workload("pagerank", scale=SCALE)
+        obs = Observability()
+        runtime = ActivePy(plan_mode="search", profile_cache=False)
+        search_report = runtime.run(
+            workload.program, workload.dataset, obs=obs
+        )
+        greedy_report = ActivePy(profile_cache=False).run(
+            workload.program, workload.dataset
+        )
+        assert search_report.plan.origin == "search"
+        assert greedy_report.plan.origin == "greedy"
+        assert greedy_report.search is None
+        assert search_report.search is not None
+        assert search_report.search.beat_greedy
+        # The win survives real execution, not just speculation.
+        assert (
+            search_report.result.total_seconds
+            < greedy_report.result.total_seconds
+        )
+        # Provenance reaches the explanation and the metrics registry.
+        explanation = search_report.explanation
+        assert explanation.plan_origin == "search"
+        assert explanation.search_diff is not None
+        assert explanation.search_diff["changed_lines"]
+        assert "search beat greedy" in explanation.render()
+        counters = obs.snapshot()["counters"]
+        assert counters["plansearch.nodes_expanded"] > 0
+        assert "plansearch.cache_hit" not in counters
+
+    def test_run_options_override_plan_mode(self):
+        workload = get_workload("tpch_q6", scale=SCALE)
+        runtime = ActivePy(profile_cache=False)
+        report = runtime.run(
+            workload.program, workload.dataset,
+            options=RunOptions(plan_mode="search"),
+        )
+        assert report.plan.origin == "search"
+
+    def test_invalid_plan_mode_rejected(self):
+        with pytest.raises(PlanningError):
+            ActivePy(plan_mode="oracle")
+        with pytest.raises(PlanningError):
+            RunOptions(plan_mode="oracle")
+
+    def test_warm_cache_skips_search(self, tmp_path):
+        cache = ProfileCache(tmp_path)
+        workload = get_workload("pagerank", scale=SCALE)
+        runtime = ActivePy(plan_mode="search", profile_cache=cache)
+        cold = runtime.run(workload.program, workload.dataset)
+        assert not cold.search.cache_hit
+        assert cache.plan_misses == 1 and cache.plan_hits == 0
+
+        obs = Observability()
+        warm = runtime.run(workload.program, workload.dataset, obs=obs)
+        assert warm.search.cache_hit
+        assert cache.plan_hits == 1
+        counters = obs.snapshot()["counters"]
+        assert counters["plansearch.cache_hit"] == 1
+        # Identical plan and simulated outcome, warm or cold.
+        assert warm.plan.assignments == cold.plan.assignments
+        assert warm.plan.t_csd == cold.plan.t_csd
+        assert warm.result.total_seconds == cold.result.total_seconds
+
+    def test_search_options_change_plan_cache_key(self, tmp_path):
+        cache = ProfileCache(tmp_path)
+        workload = get_workload("tpch_q6", scale=SCALE)
+        runtime = ActivePy(plan_mode="search", profile_cache=cache)
+        runtime.run(workload.program, workload.dataset)
+        runtime.run(
+            workload.program, workload.dataset,
+            options=RunOptions(search_options=SearchOptions(beam_width=1)),
+        )
+        # Different beam -> different plan-cache entry, not a hit.
+        assert cache.plan_misses == 2 and cache.plan_hits == 0
+
+
+class TestAdmissibleBound:
+    """The fold bound never exceeds any extension's true completion.
+
+    The production invariant with no epsilon: ``cheapest[i]`` is
+    term-wise at most the step actually taken, both sides accumulate
+    with the identical left fold in line order, and IEEE addition is
+    monotone — so the bound is exact, not just within tolerance.
+    """
+
+    @given(
+        per_line=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e12),  # host, no cross
+                st.floats(min_value=0.0, max_value=1e12),  # csd, no cross
+                st.floats(min_value=0.0, max_value=1e9),   # crossing surcharge
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        data=st.data(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_bound_admissible_for_every_extension(self, per_line, data):
+        k = len(per_line)
+        steps = {}
+        for index, (host_cost, csd_cost, surcharge) in enumerate(per_line):
+            for location, base in ((HOST, host_cost), (CSD, csd_cost)):
+                for value_location in (HOST, CSD):
+                    cost = base
+                    if value_location != location:
+                        cost = base + surcharge
+                    steps[(index, location, value_location)] = cost
+        cheapest = [
+            min(
+                steps[(index, location, value_location)]
+                for location in (HOST, CSD)
+                for value_location in (HOST, CSD)
+            )
+            for index in range(k)
+        ]
+
+        prefix = data.draw(
+            st.lists(
+                st.sampled_from([HOST, CSD]), min_size=0, max_size=k
+            ),
+            label="prefix",
+        )
+        suffix = data.draw(
+            st.lists(
+                st.sampled_from([HOST, CSD]),
+                min_size=k - len(prefix),
+                max_size=k - len(prefix),
+            ),
+            label="suffix",
+        )
+        full = list(prefix) + list(suffix)
+
+        elapsed, value_location = 0.0, HOST
+        for index, location in enumerate(prefix):
+            elapsed += steps[(index, location, value_location)]
+            value_location = location
+        bound = _fold_bound(elapsed, cheapest, len(prefix))
+
+        true_elapsed, value_location = 0.0, HOST
+        for index, location in enumerate(full):
+            true_elapsed += steps[(index, location, value_location)]
+            value_location = location
+        # Exact <=: no epsilon, by float-addition monotonicity.
+        assert bound <= true_elapsed
+
+    def test_bound_admissible_on_real_step_table(self, pagerank):
+        # The same invariant over the measured table of a real workload.
+        workload, _ = pagerank
+        k = len(workload.program)
+        spec = _SpeculativeMachine(
+            workload.program, workload.dataset, DEFAULT_CONFIG
+        )
+        steps = {
+            key: spec.step_seconds(key)
+            for key in _step_space(k, (HOST, CSD))
+        }
+        cheapest = [
+            min(
+                steps[(index, location, value_location)]
+                for location in (HOST, CSD)
+                for value_location in (HOST, CSD)
+            )
+            for index in range(k)
+        ]
+        for assignments in itertools.product((HOST, CSD), repeat=k):
+            elapsed, value_location = 0.0, HOST
+            for depth in range(k + 1):
+                bound = _fold_bound(elapsed, cheapest, depth)
+                # The leaf tail (final readback) only adds time.
+                if depth < k:
+                    location = assignments[depth]
+                    elapsed += steps[(depth, location, value_location)]
+                    value_location = location
+            assert _fold_bound(0.0, cheapest, 0) <= elapsed
+            assert bound <= elapsed

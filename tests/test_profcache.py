@@ -143,6 +143,7 @@ class TestRoundTrip:
         assert report.sampling_cache_status == "off"
         assert cache.stats() == {
             "hits": 0, "misses": 0, "invalidations": 0, "uncacheable": 0,
+            "plan_hits": 0, "plan_misses": 0,
         }
 
     def test_env_var_disables_default_cache(self, monkeypatch):
